@@ -1,0 +1,226 @@
+//! Non-iterative clustered modulo scheduler, used as the comparison baseline.
+//!
+//! The paper compares MIRS-C against the scheduler of Sánchez & González
+//! (*The effectiveness of loop unrolling for modulo scheduling in clustered
+//! VLIW architectures*, ICPP 2000) — reference [31]. That algorithm
+//!
+//! * performs cluster assignment and modulo scheduling without backtracking
+//!   (an operation that cannot be placed forces the whole loop to be
+//!   rescheduled at a larger II, it is never ejected), and
+//! * never inserts spill code: when the schedule needs more registers than
+//!   the architecture provides, the only remedy is to increase the II —
+//!   which, once loop invariants are accounted for, may *never* succeed.
+//!   Those loops are reported as non-convergent ("Not Cnvr" in Table 2 of
+//!   the paper).
+//!
+//! The implementation reuses the machinery of the [`mirs`] crate with
+//! backtracking and spilling disabled, so both schedulers share the machine
+//! model, dependence graphs, HRMS ordering and the modulo reservation table:
+//! the measured differences are attributable to the algorithmic differences
+//! the paper studies, not to incidental implementation details.
+//!
+//! # Example
+//!
+//! ```
+//! use baseline::BaselineScheduler;
+//! use ddg::LoopBuilder;
+//! use vliw::{MachineConfig, Opcode};
+//!
+//! let mut b = LoopBuilder::new("vadd");
+//! let x = b.load("x");
+//! let y = b.load("y");
+//! let s = b.op(Opcode::FpAdd, &[x, y]);
+//! b.store("z", s);
+//! let lp = b.finish(100);
+//!
+//! let machine = MachineConfig::paper_config(2, 32)?;
+//! let result = BaselineScheduler::new(&machine).schedule(&lp).unwrap();
+//! assert!(result.ii >= 1);
+//! # Ok::<(), vliw::ConfigError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use ddg::Loop;
+use mirs::{MirsScheduler, PrefetchPolicy, ScheduleError, ScheduleResult, SchedulerOptions};
+use vliw::MachineConfig;
+
+/// Options specific to the baseline scheduler.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BaselineOptions {
+    /// Upper bound on the II before the loop is declared non-convergent.
+    pub max_ii: u32,
+    /// Load-latency assumption (the baseline supports binding prefetching
+    /// too, so the real-memory comparison is apples to apples).
+    pub prefetch: PrefetchPolicy,
+}
+
+impl Default for BaselineOptions {
+    fn default() -> Self {
+        Self {
+            max_ii: 256,
+            prefetch: PrefetchPolicy::HitLatency,
+        }
+    }
+}
+
+/// The non-iterative scheduler in the style of reference [31].
+#[derive(Debug, Clone)]
+pub struct BaselineScheduler<'m> {
+    machine: &'m MachineConfig,
+    options: BaselineOptions,
+}
+
+impl<'m> BaselineScheduler<'m> {
+    /// New baseline scheduler for `machine` with default options.
+    #[must_use]
+    pub fn new(machine: &'m MachineConfig) -> Self {
+        Self::with_options(machine, BaselineOptions::default())
+    }
+
+    /// New baseline scheduler with explicit options.
+    #[must_use]
+    pub fn with_options(machine: &'m MachineConfig, options: BaselineOptions) -> Self {
+        Self { machine, options }
+    }
+
+    /// The machine this scheduler targets.
+    #[must_use]
+    pub fn machine(&self) -> &MachineConfig {
+        self.machine
+    }
+
+    /// Scheduler options translated to the shared engine: no backtracking,
+    /// no spill code.
+    #[must_use]
+    pub fn engine_options(&self) -> SchedulerOptions {
+        let mut opts = SchedulerOptions::default();
+        opts.enable_backtracking = false;
+        opts.enable_spill = false;
+        opts.max_ii = self.options.max_ii;
+        opts.prefetch = self.options.prefetch;
+        opts
+    }
+
+    /// Schedule `lp` without backtracking or spilling.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScheduleError::NotConverged`] when no II up to the
+    /// configured maximum yields a schedule that fits the register files —
+    /// the situation the paper's "Not Cnvr" column counts — and
+    /// [`ScheduleError::EmptyLoop`] for empty bodies.
+    pub fn schedule(&self, lp: &Loop) -> Result<ScheduleResult, ScheduleError> {
+        MirsScheduler::new(self.machine, self.engine_options()).schedule(lp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddg::LoopBuilder;
+    use vliw::Opcode;
+
+    fn daxpy() -> Loop {
+        let mut b = LoopBuilder::new("daxpy");
+        let a = b.invariant("a");
+        let x = b.load("x");
+        let y = b.load("y");
+        let ax = b.op(Opcode::FpMul, &[a, x]);
+        let s = b.op(Opcode::FpAdd, &[ax, y]);
+        b.store("y", s);
+        b.finish(100)
+    }
+
+    /// Many loaded values all consumed at the very end: large MaxLive that
+    /// cannot be reduced without spilling.
+    fn pressure_bomb(width: usize) -> Loop {
+        let mut b = LoopBuilder::new("pressure_bomb");
+        let mut held = Vec::new();
+        for i in 0..width {
+            held.push(b.load(&format!("x{i}")));
+        }
+        let mut chain = b.load("c");
+        for _ in 0..6 {
+            chain = b.op(Opcode::FpMul, &[chain, chain]);
+        }
+        let mut acc = chain;
+        for v in held {
+            acc = b.op(Opcode::FpAdd, &[acc, v]);
+        }
+        b.store("out", acc);
+        b.finish(100)
+    }
+
+    #[test]
+    fn baseline_schedules_simple_loops() {
+        let machine = MachineConfig::paper_config(2, 64).unwrap();
+        let lp = daxpy();
+        let r = BaselineScheduler::new(&machine).schedule(&lp).unwrap();
+        assert!(r.validate(&machine).is_ok());
+        assert_eq!(r.stats.spill_loads + r.stats.spill_stores, 0);
+    }
+
+    #[test]
+    fn baseline_never_spills() {
+        let machine = MachineConfig::paper_config(1, 64).unwrap();
+        let lp = pressure_bomb(12);
+        let r = BaselineScheduler::new(&machine).schedule(&lp).unwrap();
+        assert_eq!(r.memory_traffic as usize, lp.memory_ops());
+    }
+
+    #[test]
+    fn baseline_engine_options_disable_iteration() {
+        let machine = MachineConfig::paper_config(1, 64).unwrap();
+        let opts = BaselineScheduler::new(&machine).engine_options();
+        assert!(!opts.enable_backtracking);
+        assert!(!opts.enable_spill);
+    }
+
+    #[test]
+    fn baseline_fails_on_register_starved_configs() {
+        // A loop whose MaxLive exceeds the register file no matter the II:
+        // without spilling the baseline cannot converge.
+        let machine = MachineConfig::builder()
+            .identical_clusters(1, vliw::ClusterConfig::new(8, 4, 16))
+            .buses(2)
+            .build()
+            .unwrap();
+        let lp = pressure_bomb(24);
+        let mut opts = BaselineOptions::default();
+        opts.max_ii = 32;
+        let r = BaselineScheduler::with_options(&machine, opts).schedule(&lp);
+        assert!(matches!(r, Err(ScheduleError::NotConverged { .. })));
+    }
+
+    #[test]
+    fn mirs_converges_where_the_baseline_does_not() {
+        let machine = MachineConfig::builder()
+            .identical_clusters(1, vliw::ClusterConfig::new(8, 4, 16))
+            .buses(2)
+            .build()
+            .unwrap();
+        let lp = pressure_bomb(20);
+        let mut bopts = BaselineOptions::default();
+        bopts.max_ii = 32;
+        assert!(BaselineScheduler::with_options(&machine, bopts).schedule(&lp).is_err());
+        let mirs_result = MirsScheduler::new(&machine, SchedulerOptions::default())
+            .schedule(&lp)
+            .expect("integrated spilling handles the pressure");
+        assert!(mirs_result.validate(&machine).is_ok());
+        assert!(mirs_result.stats.spill_loads > 0);
+    }
+
+    #[test]
+    fn baseline_ii_never_beats_mirs() {
+        let machine = MachineConfig::paper_config(4, 64).unwrap();
+        for lp in [daxpy(), pressure_bomb(8)] {
+            let base = BaselineScheduler::new(&machine).schedule(&lp).unwrap();
+            let mirs_r = MirsScheduler::new(&machine, SchedulerOptions::default())
+                .schedule(&lp)
+                .unwrap();
+            assert!(mirs_r.ii <= base.ii, "{}: MIRS-C should not lose", lp.name);
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! Ablation: ejecting one conflicting operation (MIRS-C) vs ejecting all of
+//! them (Huff/Rau style iterative schedulers).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use loopgen::{Workbench, WorkbenchParams};
+use mirs::{EjectionPolicy, MirsScheduler, SchedulerOptions};
+use vliw::MachineConfig;
+
+fn bench(c: &mut Criterion) {
+    let wb = Workbench::generate(&WorkbenchParams { loops: 8, ..Default::default() });
+    let machine = MachineConfig::paper_config(4, 32).unwrap();
+    println!("\nAblation: ejection policy on 4-(GP2M1-REG32)");
+    println!("{:>8} {:>10} {:>10} {:>12}", "policy", "sum II", "sum trf", "ejections");
+    for (name, policy) in [("one", EjectionPolicy::One), ("all", EjectionPolicy::All)] {
+        let opts = SchedulerOptions::default().with_ejection(policy);
+        let mut sum_ii = 0u64;
+        let mut sum_trf = 0u64;
+        let mut ejections = 0u64;
+        for lp in wb.loops() {
+            if let Ok(r) = MirsScheduler::new(&machine, opts).schedule(lp) {
+                sum_ii += u64::from(r.ii);
+                sum_trf += u64::from(r.memory_traffic);
+                ejections += r.stats.ejections;
+            }
+        }
+        println!("{name:>8} {sum_ii:>10} {sum_trf:>10} {ejections:>12}");
+    }
+    let small = Workbench::generate(&WorkbenchParams { loops: 2, ..Default::default() });
+    let mut g = c.benchmark_group("ablation_ejection");
+    g.sample_size(10);
+    for (name, policy) in [("one", EjectionPolicy::One), ("all", EjectionPolicy::All)] {
+        let opts = SchedulerOptions::default().with_ejection(policy);
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                for lp in small.loops() {
+                    let _ = std::hint::black_box(MirsScheduler::new(&machine, opts).schedule(lp));
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

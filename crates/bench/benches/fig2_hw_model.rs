@@ -1,0 +1,17 @@
+//! Regenerates Figure 2: cycle time, area and power of the register-file
+//! organizations, and benchmarks the hardware-model evaluation itself.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use harness::fig2;
+use vliw::HwModel;
+
+fn bench(c: &mut Criterion) {
+    let fig = fig2::run(&HwModel::default());
+    println!("\n{fig}");
+    c.bench_function("fig2_hw_model_sweep", |b| {
+        b.iter(|| std::hint::black_box(fig2::run(&HwModel::default())))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

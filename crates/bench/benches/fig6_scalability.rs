@@ -1,0 +1,19 @@
+//! Regenerates Figure 6: scalability with cluster count and buses.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use harness::fig6;
+use loopgen::{Workbench, WorkbenchParams};
+
+fn bench(c: &mut Criterion) {
+    let wb = Workbench::generate(&WorkbenchParams { loops: 10, ..Default::default() });
+    let fig = fig6::run(&wb, 8);
+    println!("\n{fig}");
+    let small = Workbench::generate(&WorkbenchParams { loops: 2, ..Default::default() });
+    let mut g = c.benchmark_group("fig6_scalability");
+    g.sample_size(10);
+    g.bench_function("workbench2_k4", |b| b.iter(|| std::hint::black_box(fig6::run(&small, 4))));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Regenerates Table 1: [31] vs MIRS-C with unbounded registers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use harness::table1;
+use loopgen::{Workbench, WorkbenchParams};
+
+fn bench(c: &mut Criterion) {
+    let wb = Workbench::generate(&WorkbenchParams { loops: 12, ..Default::default() });
+    let table = table1::run(&wb);
+    println!("\n{table}");
+    let small = Workbench::generate(&WorkbenchParams { loops: 3, ..Default::default() });
+    let mut g = c.benchmark_group("table1_unbounded");
+    g.sample_size(10);
+    g.bench_function("workbench3", |b| b.iter(|| std::hint::black_box(table1::run(&small))));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,205 @@
+//! Cluster selection and inter-cluster move insertion (Section 3.3).
+
+use crate::scheduler::SchedState;
+use ddg::{NodeId, NodeOrigin, OperationData, ValueId};
+use vliw::{ClusterId, OpClass, Opcode, ResourceKind};
+
+impl SchedState<'_> {
+    /// Select the most appropriate cluster for `node` (step C1).
+    ///
+    /// Clusters are ranked, in the paper's order of importance, by
+    /// 1. availability of at least one empty slot for the operation in the
+    ///    node's current search window,
+    /// 2. the number of move operations that would be needed to access the
+    ///    values produced/consumed by already scheduled neighbours, and
+    /// 3. the occupancy of the functional-unit class the operation needs.
+    pub(crate) fn select_cluster(&self, node: NodeId) -> ClusterId {
+        let opcode = self.graph.op(node).opcode;
+        let mut best: Option<(ClusterId, (i64, i64, i64))> = None;
+        for cluster in self.machine.cluster_ids() {
+            let window = self.window(node, cluster);
+            let rt = self.machine.reservation(opcode, cluster);
+            let has_slot = i64::from(self.find_free_slot(&rt, window).is_some());
+            let moves_needed = self.moves_needed(node, cluster) as i64;
+            let occupancy = i64::from(match opcode.class() {
+                OpClass::Gp => self.sched.occupancy(ResourceKind::GpUnit { cluster }),
+                OpClass::Mem => self.sched.occupancy(ResourceKind::MemPort { cluster }),
+                OpClass::Move => 0,
+            });
+            // Higher is better: free slot first, then fewer moves, then the
+            // least busy functional units.
+            let key = (has_slot, -moves_needed, -occupancy);
+            match &best {
+                Some((_, bk)) if *bk >= key => {}
+                _ => best = Some((cluster, key)),
+            }
+        }
+        best.map(|(c, _)| c).unwrap_or(ClusterId::ZERO)
+    }
+
+    /// Number of move operations that would have to be inserted if `node`
+    /// were assigned to `cluster`.
+    pub(crate) fn moves_needed(&self, node: NodeId, cluster: ClusterId) -> usize {
+        let mut count = 0;
+        // Imports: operands produced by operations scheduled elsewhere.
+        for &v in &self.graph.op(node).srcs {
+            if self.graph.value(v).invariant {
+                continue; // invariants take a register in each cluster instead
+            }
+            if let Some(producer) = self.graph.value(v).producer {
+                if let Some(pc) = self.sched.cluster_of(producer) {
+                    if pc != cluster && !self.move_of_value_into(v, cluster).is_some() {
+                        count += 1;
+                    }
+                }
+            }
+        }
+        // Exports: already scheduled consumers of the result in other
+        // clusters (one move per destination cluster).
+        if let Some(dest) = self.graph.op(node).dest {
+            let mut dst_clusters: Vec<ClusterId> = Vec::new();
+            for c in self.graph.consumers_of(dest) {
+                if let Some(cc) = self.sched.cluster_of(c) {
+                    if cc != cluster && !dst_clusters.contains(&cc) {
+                        dst_clusters.push(cc);
+                    }
+                }
+            }
+            count += dst_clusters.len();
+        }
+        count
+    }
+
+    /// A live move node that already transports `value` into `cluster`, if any.
+    fn move_of_value_into(&self, value: ValueId, cluster: ClusterId) -> Option<NodeId> {
+        self.graph.node_ids().find(|&n| {
+            matches!(self.graph.op(n).origin, NodeOrigin::Move { value: v } if v == value)
+                && self.move_route.get(&n).map(|&(_, d)| d) == Some(cluster)
+        })
+    }
+
+    /// Insert the move operations required to schedule `node` on `cluster`
+    /// (step C2) and return them in the order they should be scheduled.
+    ///
+    /// Two situations require communication:
+    /// * an operand of `node` is produced in a different cluster (an
+    ///   *import* move, from the producer's cluster into `cluster`), or
+    /// * the result of `node` is consumed by operations already scheduled in
+    ///   other clusters (an *export* move per destination cluster).
+    ///
+    /// If a move of the same value into the same destination already exists
+    /// it is reused and the operand is simply rewired.
+    pub(crate) fn ensure_moves(&mut self, node: NodeId, cluster: ClusterId) -> Vec<NodeId> {
+        let mut new_moves = Vec::new();
+
+        // --- imports -------------------------------------------------------
+        let srcs = self.graph.op(node).srcs.clone();
+        for v in srcs {
+            if self.graph.value(v).invariant {
+                continue;
+            }
+            let Some(producer) = self.graph.value(v).producer else {
+                continue;
+            };
+            let Some(pcluster) = self.sched.cluster_of(producer) else {
+                continue;
+            };
+            if pcluster == cluster {
+                continue;
+            }
+            if let Some(existing) = self.move_of_value_into(v, cluster) {
+                self.rewire_consumer(node, v, existing);
+                continue;
+            }
+            let mv = self.create_move(v, producer, pcluster, cluster, node);
+            self.rewire_consumer(node, v, mv);
+            new_moves.push(mv);
+        }
+
+        // --- exports -------------------------------------------------------
+        if let Some(dest) = self.graph.op(node).dest {
+            let consumers = self.graph.consumers_of(dest);
+            let mut dst_clusters: Vec<ClusterId> = Vec::new();
+            for c in &consumers {
+                if let Some(cc) = self.sched.cluster_of(*c) {
+                    if cc != cluster && !dst_clusters.contains(&cc) {
+                        dst_clusters.push(cc);
+                    }
+                }
+            }
+            for dst in dst_clusters {
+                let mv = if let Some(existing) = self.move_of_value_into(dest, dst) {
+                    existing
+                } else {
+                    let mv = self.create_move(dest, node, cluster, dst, node);
+                    new_moves.push(mv);
+                    mv
+                };
+                for c in &consumers {
+                    if self.sched.cluster_of(*c) == Some(dst) {
+                        self.rewire_consumer(*c, dest, mv);
+                    }
+                }
+            }
+        }
+        new_moves
+    }
+
+    /// Create a move node transporting `value` (produced by `producer` in
+    /// `src`) into cluster `dst`. The move's priority is anchored at
+    /// `anchor` so that, if ejected, it is re-picked just before it.
+    fn create_move(
+        &mut self,
+        value: ValueId,
+        producer: NodeId,
+        src: ClusterId,
+        dst: ClusterId,
+        anchor: NodeId,
+    ) -> NodeId {
+        let copy_name = format!("{}@{}", self.graph.value(value).name, dst);
+        let copy = self.graph.add_value(copy_name, false);
+        let mut data = OperationData::new(Opcode::Move, Some(copy), vec![value]);
+        data.origin = NodeOrigin::Move { value };
+        data.name = format!("move {}->{}", src, dst);
+        let mv = self.graph.add_node(data);
+        self.graph.add_flow(producer, mv, value, 0);
+        self.move_route.insert(mv, (src, dst));
+        self.plist.register_with_anchor(mv, anchor);
+        self.stats.moves += 1;
+        mv
+    }
+
+    /// Rewire `consumer` so it reads the value defined by move `mv` instead
+    /// of `original`: the operand list is updated, the direct flow edge from
+    /// the original producer is removed, and a flow edge from the move is
+    /// added with the same iteration distance.
+    pub(crate) fn rewire_consumer(&mut self, consumer: NodeId, original: ValueId, mv: NodeId) {
+        let copy = self.graph.op(mv).dest.expect("moves define a value");
+        // Find (and remove) the direct flow edge carrying `original`.
+        let mut distance = 0;
+        let mut to_remove = Vec::new();
+        for e in self.graph.in_edges(consumer) {
+            let edge = *self.graph.edge(e);
+            if edge.value == Some(original) && edge.from != mv {
+                distance = edge.distance;
+                to_remove.push(e);
+            }
+        }
+        for e in to_remove {
+            self.graph.remove_edge(e);
+        }
+        for s in &mut self.graph.op_mut(consumer).srcs {
+            if *s == original {
+                *s = copy;
+            }
+        }
+        // Avoid duplicate edges if the consumer was already rewired.
+        let already = self.graph.in_edges(consumer).iter().any(|&e| {
+            let edge = self.graph.edge(e);
+            edge.from == mv && edge.value == Some(copy)
+        });
+        if !already {
+            self.graph.add_flow(mv, consumer, copy, distance);
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! Tunable parameters of the MIRS-C scheduler.
+
+use serde::{Deserialize, Serialize};
+
+/// How many conflicting operations are ejected when a node is forced into a
+/// cycle that has no free slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EjectionPolicy {
+    /// Eject a single conflicting operation — the one that was placed in the
+    /// partial schedule first (the MIRS-C choice).
+    One,
+    /// Eject every operation that conflicts with the forced node, as earlier
+    /// iterative schedulers (Huff, Rau) do. Kept as an ablation knob.
+    All,
+}
+
+/// How memory load latencies are assumed during scheduling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PrefetchPolicy {
+    /// Every load is scheduled with the cache *hit* latency; the processor
+    /// stalls on misses (the paper's "Normal" configuration).
+    HitLatency,
+    /// Selective binding prefetching (Sánchez & González, MICRO-30): loads
+    /// are scheduled with the *miss* latency so the schedule itself hides
+    /// the memory latency, except loads inside recurrences, spill loads and
+    /// loads in loops with fewer than `min_trip_count` iterations, which
+    /// keep the hit latency.
+    SelectiveBinding {
+        /// Loops with a trip count below this keep hit latency everywhere
+        /// (avoids disproportionate prologue/epilogue cost).
+        min_trip_count: u64,
+    },
+}
+
+impl Default for PrefetchPolicy {
+    fn default() -> Self {
+        PrefetchPolicy::HitLatency
+    }
+}
+
+/// Parameters of the iterative scheduling algorithm.
+///
+/// Defaults follow the values used in the paper: a budget ratio of 6
+/// attempts per node, spill gauge `SG = 2`, minimum span gauge `MSG = 4`
+/// and distance gauge `DG = 4`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SchedulerOptions {
+    /// Scheduling attempts allowed per node in the graph before the II is
+    /// increased (the *BudgetRatio*).
+    pub budget_ratio: u32,
+    /// Spill gauge `SG`: spill code is inserted as soon as the register
+    /// requirements exceed `SG × available registers` (and always when the
+    /// priority list is empty and requirements exceed the available
+    /// registers). Must be ≥ 1.
+    pub spill_gauge: f64,
+    /// Minimum span gauge `MSG`: a lifetime section must span at least this
+    /// many cycles to be worth spilling; otherwise a node scheduled in the
+    /// critical cycle is ejected instead.
+    pub min_span_gauge: i64,
+    /// Distance gauge `DG`: spill loads (stores) are constrained to be
+    /// placed at most `DG` cycles before (after) their consumer (producer).
+    pub distance_gauge: i64,
+    /// Hard upper bound on the II; exceeding it makes the scheduler give up
+    /// with [`ScheduleError::NotConverged`](crate::ScheduleError::NotConverged).
+    pub max_ii: u32,
+    /// Ejection policy used by the Forcing-and-Ejection heuristic.
+    pub ejection: EjectionPolicy,
+    /// Whether spill code may be inserted at all. Disabling spilling makes
+    /// the scheduler behave like register-insensitive proposals that only
+    /// increase the II when registers run out.
+    pub enable_spill: bool,
+    /// Whether backtracking (forcing and ejection) is allowed. With
+    /// backtracking disabled the scheduler gives up on the current II as
+    /// soon as some node has no free slot, mimicking non-iterative
+    /// schedulers.
+    pub enable_backtracking: bool,
+    /// Load-latency assumption (binding prefetching).
+    pub prefetch: PrefetchPolicy,
+}
+
+impl Default for SchedulerOptions {
+    fn default() -> Self {
+        Self {
+            budget_ratio: 6,
+            spill_gauge: 2.0,
+            min_span_gauge: 4,
+            distance_gauge: 4,
+            max_ii: 1024,
+            ejection: EjectionPolicy::One,
+            enable_spill: true,
+            enable_backtracking: true,
+            prefetch: PrefetchPolicy::HitLatency,
+        }
+    }
+}
+
+impl SchedulerOptions {
+    /// Options used for the paper's experiments (same as `Default`).
+    #[must_use]
+    pub fn paper() -> Self {
+        Self::default()
+    }
+
+    /// Builder-style setter for the spill gauge.
+    #[must_use]
+    pub fn with_spill_gauge(mut self, sg: f64) -> Self {
+        self.spill_gauge = sg;
+        self
+    }
+
+    /// Builder-style setter for the minimum span gauge.
+    #[must_use]
+    pub fn with_min_span_gauge(mut self, msg: i64) -> Self {
+        self.min_span_gauge = msg;
+        self
+    }
+
+    /// Builder-style setter for the distance gauge.
+    #[must_use]
+    pub fn with_distance_gauge(mut self, dg: i64) -> Self {
+        self.distance_gauge = dg;
+        self
+    }
+
+    /// Builder-style setter for the budget ratio.
+    #[must_use]
+    pub fn with_budget_ratio(mut self, ratio: u32) -> Self {
+        self.budget_ratio = ratio;
+        self
+    }
+
+    /// Builder-style setter for the prefetch policy.
+    #[must_use]
+    pub fn with_prefetch(mut self, policy: PrefetchPolicy) -> Self {
+        self.prefetch = policy;
+        self
+    }
+
+    /// Builder-style setter for the ejection policy.
+    #[must_use]
+    pub fn with_ejection(mut self, policy: EjectionPolicy) -> Self {
+        self.ejection = policy;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_paper() {
+        let o = SchedulerOptions::default();
+        assert_eq!(o.budget_ratio, 6);
+        assert!((o.spill_gauge - 2.0).abs() < f64::EPSILON);
+        assert_eq!(o.min_span_gauge, 4);
+        assert_eq!(o.distance_gauge, 4);
+        assert_eq!(o.ejection, EjectionPolicy::One);
+        assert!(o.enable_spill);
+        assert!(o.enable_backtracking);
+        assert_eq!(o.prefetch, PrefetchPolicy::HitLatency);
+        assert_eq!(SchedulerOptions::paper(), o);
+    }
+
+    #[test]
+    fn builder_setters_compose() {
+        let o = SchedulerOptions::default()
+            .with_spill_gauge(1.0)
+            .with_min_span_gauge(2)
+            .with_distance_gauge(8)
+            .with_budget_ratio(3)
+            .with_ejection(EjectionPolicy::All)
+            .with_prefetch(PrefetchPolicy::SelectiveBinding { min_trip_count: 16 });
+        assert!((o.spill_gauge - 1.0).abs() < f64::EPSILON);
+        assert_eq!(o.min_span_gauge, 2);
+        assert_eq!(o.distance_gauge, 8);
+        assert_eq!(o.budget_ratio, 3);
+        assert_eq!(o.ejection, EjectionPolicy::All);
+        assert!(matches!(
+            o.prefetch,
+            PrefetchPolicy::SelectiveBinding { min_trip_count: 16 }
+        ));
+    }
+}

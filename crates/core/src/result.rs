@@ -1,0 +1,339 @@
+//! Final schedules and their validation.
+
+use ddg::{DepGraph, NodeId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+use vliw::{ClusterId, MachineConfig, ResourceKind};
+
+/// Final placement of one operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Placement {
+    /// Issue cycle relative to the start of the kernel iteration
+    /// (normalized so the earliest operation issues at cycle 0).
+    pub cycle: i64,
+    /// Cluster executing the operation.
+    pub cluster: ClusterId,
+}
+
+/// Counters describing the work the scheduler performed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct SchedulerStats {
+    /// Nodes picked from the priority list (including re-scheduling after
+    /// ejection).
+    pub attempts: u64,
+    /// Operations ejected by the Forcing-and-Ejection heuristic.
+    pub ejections: u64,
+    /// Forced placements (no free slot found).
+    pub forced: u64,
+    /// Spill store operations in the final schedule.
+    pub spill_stores: u32,
+    /// Spill load operations in the final schedule.
+    pub spill_loads: u32,
+    /// Inter-cluster move operations in the final schedule.
+    pub moves: u32,
+    /// Move operations that were inserted and later removed again.
+    pub moves_removed: u64,
+    /// Times the schedule was discarded and restarted with a larger II.
+    pub restarts: u32,
+    /// Wall-clock scheduling time in seconds.
+    pub scheduling_seconds: f64,
+}
+
+/// A complete modulo schedule for one loop.
+///
+/// The result owns the *final* dependence graph: it contains every spill and
+/// move operation the scheduler inserted, which downstream consumers (the
+/// memory simulator, code emitters, the benchmark harness) need alongside
+/// the placements.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScheduleResult {
+    /// Name of the scheduled loop.
+    pub loop_name: String,
+    /// Achieved initiation interval.
+    pub ii: u32,
+    /// Lower bound the scheduler started from (`max(ResMII, RecMII)`).
+    pub mii: u32,
+    /// Final dependence graph including inserted spill and move nodes.
+    pub graph: DepGraph,
+    /// Placement of every live node of [`ScheduleResult::graph`].
+    pub placements: HashMap<NodeId, Placement>,
+    /// `MaxLive` register requirement per cluster (including invariants).
+    pub max_live: Vec<u32>,
+    /// Memory operations per iteration (original loads/stores plus spill
+    /// traffic) — the paper's `trf` metric.
+    pub memory_traffic: u32,
+    /// Inter-cluster moves per iteration.
+    pub moves: u32,
+    /// Schedule length of one iteration (issue cycle of the last operation
+    /// minus the first), used to derive prologue/epilogue cost.
+    pub span: u32,
+    /// Scheduler work counters.
+    pub stats: SchedulerStats,
+}
+
+impl ScheduleResult {
+    /// Execution cycles for `iterations` iterations of the loop:
+    /// `span + II · iterations` (kernel plus prologue/epilogue ramp).
+    #[must_use]
+    pub fn execution_cycles(&self, iterations: u64) -> u64 {
+        u64::from(self.span) + u64::from(self.ii) * iterations
+    }
+
+    /// Validate the schedule against machine `machine`.
+    ///
+    /// Checks that every node is placed, every dependence constraint
+    /// `cycle(to) ≥ cycle(from) + latency − II·distance` holds, no resource
+    /// is oversubscribed in any kernel cycle, every operand is produced in
+    /// the cluster that consumes it (or is a loop invariant), and the
+    /// per-cluster register requirements fit the register files.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ValidationError`] found.
+    pub fn validate(&self, machine: &MachineConfig) -> Result<(), ValidationError> {
+        let lat = machine.latencies();
+        // Every node placed.
+        for n in self.graph.node_ids() {
+            if !self.placements.contains_key(&n) {
+                return Err(ValidationError::Unplaced { node: n });
+            }
+        }
+        // Dependences.
+        for e in self.graph.edge_ids() {
+            let edge = self.graph.edge(e);
+            let from = self.placements[&edge.from].cycle;
+            let to = self.placements[&edge.to].cycle;
+            let lat_e = self.graph.edge_latency(e, lat);
+            let slack = to - from - lat_e + i64::from(self.ii) * i64::from(edge.distance);
+            if slack < 0 {
+                return Err(ValidationError::DependenceViolated {
+                    from: edge.from,
+                    to: edge.to,
+                    slack,
+                });
+            }
+        }
+        // Resources.
+        let mut usage: HashMap<(ResourceKind, u32), u32> = HashMap::new();
+        for (&n, p) in &self.placements {
+            if !self.graph.is_live(n) {
+                continue;
+            }
+            let op = self.graph.op(n);
+            let rt = if op.opcode.is_move() {
+                // The move's source cluster is the cluster of its operand's
+                // producer; its destination cluster is where it is placed.
+                let src = op
+                    .srcs
+                    .first()
+                    .and_then(|&v| self.graph.value(v).producer)
+                    .and_then(|prod| self.placements.get(&prod))
+                    .map(|pp| pp.cluster)
+                    .unwrap_or(p.cluster);
+                machine.move_reservation(src, p.cluster)
+            } else {
+                machine.reservation(op.opcode, p.cluster)
+            };
+            for u in &rt {
+                let slot = (p.cycle + i64::from(u.offset)).rem_euclid(i64::from(self.ii)) as u32;
+                let e = usage.entry((u.kind, slot)).or_insert(0);
+                *e += 1;
+                if *e > machine.resource_count(u.kind) {
+                    return Err(ValidationError::ResourceOverflow {
+                        kind: u.kind,
+                        kernel_cycle: slot,
+                    });
+                }
+            }
+        }
+        // Operand locality: every consumed value must be produced in the
+        // consumer's cluster or be a loop invariant.
+        for n in self.graph.node_ids() {
+            let p = self.placements[&n];
+            if self.graph.op(n).opcode.is_move() {
+                // Moves read a remote value by design.
+                continue;
+            }
+            for &v in &self.graph.op(n).srcs {
+                let vd = self.graph.value(v);
+                if vd.invariant {
+                    continue;
+                }
+                if let Some(prod) = vd.producer {
+                    let pc = self.placements[&prod].cluster;
+                    if pc != p.cluster {
+                        return Err(ValidationError::NonLocalOperand {
+                            node: n,
+                            producer_cluster: pc,
+                            consumer_cluster: p.cluster,
+                        });
+                    }
+                }
+            }
+        }
+        // Registers.
+        for (i, &ml) in self.max_live.iter().enumerate() {
+            let avail = machine.cluster_configs()[i].registers;
+            if ml > avail {
+                return Err(ValidationError::RegisterOverflow {
+                    cluster: ClusterId::from(i),
+                    required: ml,
+                    available: avail,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Violation found by [`ScheduleResult::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ValidationError {
+    /// A live node has no placement.
+    Unplaced {
+        /// The unplaced node.
+        node: NodeId,
+    },
+    /// A dependence constraint is violated.
+    DependenceViolated {
+        /// Producer.
+        from: NodeId,
+        /// Consumer.
+        to: NodeId,
+        /// Negative slack of the constraint.
+        slack: i64,
+    },
+    /// A resource is oversubscribed in some kernel cycle.
+    ResourceOverflow {
+        /// The oversubscribed resource.
+        kind: ResourceKind,
+        /// Kernel cycle (mod II).
+        kernel_cycle: u32,
+    },
+    /// An operation consumes a value produced in a different cluster.
+    NonLocalOperand {
+        /// The consumer node.
+        node: NodeId,
+        /// Cluster of the producer.
+        producer_cluster: ClusterId,
+        /// Cluster of the consumer.
+        consumer_cluster: ClusterId,
+    },
+    /// The schedule needs more registers than a cluster provides.
+    RegisterOverflow {
+        /// The over-pressured cluster.
+        cluster: ClusterId,
+        /// Registers required (`MaxLive`).
+        required: u32,
+        /// Registers available.
+        available: u32,
+    },
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidationError::Unplaced { node } => write!(f, "node {node} is not placed"),
+            ValidationError::DependenceViolated { from, to, slack } => {
+                write!(f, "dependence {from} -> {to} violated (slack {slack})")
+            }
+            ValidationError::ResourceOverflow { kind, kernel_cycle } => {
+                write!(f, "resource {kind} oversubscribed at kernel cycle {kernel_cycle}")
+            }
+            ValidationError::NonLocalOperand {
+                node,
+                producer_cluster,
+                consumer_cluster,
+            } => write!(
+                f,
+                "node {node} in {consumer_cluster} reads a value produced in {producer_cluster}"
+            ),
+            ValidationError::RegisterOverflow {
+                cluster,
+                required,
+                available,
+            } => write!(
+                f,
+                "cluster {cluster} needs {required} registers but has {available}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn execution_cycles_combine_span_and_ii() {
+        let r = ScheduleResult {
+            loop_name: "t".into(),
+            ii: 3,
+            mii: 3,
+            graph: DepGraph::new(),
+            placements: HashMap::new(),
+            max_live: vec![0],
+            memory_traffic: 0,
+            moves: 0,
+            span: 10,
+            stats: SchedulerStats::default(),
+        };
+        assert_eq!(r.execution_cycles(100), 10 + 300);
+        assert_eq!(r.execution_cycles(0), 10);
+    }
+
+    #[test]
+    fn validation_errors_have_readable_display() {
+        let msgs = [
+            ValidationError::Unplaced { node: NodeId(1) }.to_string(),
+            ValidationError::DependenceViolated {
+                from: NodeId(0),
+                to: NodeId(1),
+                slack: -2,
+            }
+            .to_string(),
+            ValidationError::ResourceOverflow {
+                kind: ResourceKind::Bus,
+                kernel_cycle: 3,
+            }
+            .to_string(),
+            ValidationError::NonLocalOperand {
+                node: NodeId(2),
+                producer_cluster: ClusterId(0),
+                consumer_cluster: ClusterId(1),
+            }
+            .to_string(),
+            ValidationError::RegisterOverflow {
+                cluster: ClusterId(0),
+                required: 40,
+                available: 32,
+            }
+            .to_string(),
+        ];
+        for m in msgs {
+            assert!(!m.is_empty());
+        }
+    }
+
+    #[test]
+    fn empty_schedule_validates() {
+        let machine = MachineConfig::paper_config(1, 64).unwrap();
+        let r = ScheduleResult {
+            loop_name: "empty".into(),
+            ii: 1,
+            mii: 1,
+            graph: DepGraph::new(),
+            placements: HashMap::new(),
+            max_live: vec![0],
+            memory_traffic: 0,
+            moves: 0,
+            span: 0,
+            stats: SchedulerStats::default(),
+        };
+        assert!(r.validate(&machine).is_ok());
+    }
+}

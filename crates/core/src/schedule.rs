@@ -1,0 +1,387 @@
+//! The partial schedule and its modulo reservation table.
+
+use ddg::NodeId;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use vliw::{ClusterId, MachineConfig, ReservationTable, ResourceKind};
+
+/// Placement of one node in the partial schedule.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub(crate) struct PlacementInfo {
+    /// Absolute issue cycle (may be negative before normalization).
+    pub cycle: i64,
+    /// Cluster executing the operation.
+    pub cluster: ClusterId,
+    /// Resources the operation occupies (kept so ejection can release them).
+    pub rt: ReservationTable,
+    /// Monotonic placement counter; smaller = placed earlier. Used by the
+    /// Forcing-and-Ejection heuristic to pick the first-placed conflicting
+    /// operation.
+    pub order: u64,
+}
+
+/// A partial modulo schedule: node placements plus a modulo reservation
+/// table (MRT) tracking resource usage per kernel cycle.
+///
+/// The MRT is indexed by `(resource kind, cycle mod II)` and counts how many
+/// operations occupy each slot; per-cluster resources (functional units,
+/// memory ports, communication ports) and the shared buses are all tracked
+/// uniformly through [`ResourceKind`].
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct PartialSchedule {
+    ii: u32,
+    placements: HashMap<NodeId, PlacementInfo>,
+    usage: HashMap<(ResourceKind, u32), Vec<NodeId>>,
+    next_order: u64,
+}
+
+impl PartialSchedule {
+    /// Empty schedule at initiation interval `ii`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ii == 0`.
+    #[must_use]
+    pub fn new(ii: u32) -> Self {
+        assert!(ii > 0, "the initiation interval must be positive");
+        Self {
+            ii,
+            placements: HashMap::new(),
+            usage: HashMap::new(),
+            next_order: 0,
+        }
+    }
+
+    /// Initiation interval of the schedule.
+    #[must_use]
+    pub fn ii(&self) -> u32 {
+        self.ii
+    }
+
+    /// Number of scheduled nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.placements.len()
+    }
+
+    /// Whether no node is scheduled.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.placements.is_empty()
+    }
+
+    /// Whether `node` is currently scheduled.
+    #[must_use]
+    pub fn is_scheduled(&self, node: NodeId) -> bool {
+        self.placements.contains_key(&node)
+    }
+
+    /// Issue cycle of `node`, if scheduled.
+    #[must_use]
+    pub fn cycle_of(&self, node: NodeId) -> Option<i64> {
+        self.placements.get(&node).map(|p| p.cycle)
+    }
+
+    /// Cluster of `node`, if scheduled.
+    #[must_use]
+    pub fn cluster_of(&self, node: NodeId) -> Option<ClusterId> {
+        self.placements.get(&node).map(|p| p.cluster)
+    }
+
+    /// Iterator over scheduled nodes with their cycle and cluster.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, i64, ClusterId)> + '_ {
+        self.placements.iter().map(|(&n, p)| (n, p.cycle, p.cluster))
+    }
+
+    /// Earliest issue cycle used by any scheduled node.
+    #[must_use]
+    pub fn min_cycle(&self) -> Option<i64> {
+        self.placements.values().map(|p| p.cycle).min()
+    }
+
+    /// Latest issue cycle used by any scheduled node.
+    #[must_use]
+    pub fn max_cycle(&self) -> Option<i64> {
+        self.placements.values().map(|p| p.cycle).max()
+    }
+
+    fn slot(&self, cycle: i64, offset: u32) -> u32 {
+        (cycle + i64::from(offset)).rem_euclid(i64::from(self.ii)) as u32
+    }
+
+    /// Whether `rt` fits at `cycle` without exceeding any resource capacity.
+    #[must_use]
+    pub fn can_place(&self, machine: &MachineConfig, rt: &ReservationTable, cycle: i64) -> bool {
+        // A reservation table spanning II cycles or more necessarily
+        // collides with itself in the MRT (e.g. an unpipelined divide with a
+        // latency longer than the II on a machine with a single unit could
+        // still fit if capacity > 1; the per-slot counting below handles
+        // that case correctly, including self-overlap).
+        let mut extra: HashMap<(ResourceKind, u32), u32> = HashMap::new();
+        for u in rt {
+            let key = (u.kind, self.slot(cycle, u.offset));
+            *extra.entry(key).or_insert(0) += 1;
+        }
+        extra.into_iter().all(|((kind, slot), added)| {
+            let used = self
+                .usage
+                .get(&(kind, slot))
+                .map(|v| v.len() as u32)
+                .unwrap_or(0);
+            used + added <= machine.resource_count(kind)
+        })
+    }
+
+    /// Place `node` at `cycle` on `cluster` with reservation table `rt`,
+    /// without checking capacities (forced placements may oversubscribe; the
+    /// caller ejects conflicting nodes afterwards).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is already scheduled.
+    pub fn place(&mut self, node: NodeId, cycle: i64, cluster: ClusterId, rt: ReservationTable) {
+        assert!(
+            !self.is_scheduled(node),
+            "node {node} is already scheduled"
+        );
+        for u in &rt {
+            let key = (u.kind, self.slot(cycle, u.offset));
+            self.usage.entry(key).or_default().push(node);
+        }
+        let order = self.next_order;
+        self.next_order += 1;
+        self.placements.insert(
+            node,
+            PlacementInfo {
+                cycle,
+                cluster,
+                rt,
+                order,
+            },
+        );
+    }
+
+    /// Place `node` only if it fits; returns whether it was placed.
+    pub fn try_place(
+        &mut self,
+        machine: &MachineConfig,
+        node: NodeId,
+        cycle: i64,
+        cluster: ClusterId,
+        rt: ReservationTable,
+    ) -> bool {
+        if self.can_place(machine, &rt, cycle) {
+            self.place(node, cycle, cluster, rt);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Remove `node` from the schedule, releasing its resources. Returns its
+    /// previous issue cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is not scheduled.
+    pub fn eject(&mut self, node: NodeId) -> i64 {
+        let info = self
+            .placements
+            .remove(&node)
+            .unwrap_or_else(|| panic!("node {node} is not scheduled"));
+        for u in &info.rt {
+            let key = (u.kind, self.slot(info.cycle, u.offset));
+            if let Some(v) = self.usage.get_mut(&key) {
+                if let Some(pos) = v.iter().position(|&n| n == node) {
+                    v.swap_remove(pos);
+                }
+            }
+        }
+        info.cycle
+    }
+
+    /// Nodes that conflict with placing `rt` at `cycle`: the occupants of
+    /// every resource slot that would exceed its capacity, ordered by
+    /// placement time (first placed first).
+    #[must_use]
+    pub fn conflicts(
+        &self,
+        machine: &MachineConfig,
+        rt: &ReservationTable,
+        cycle: i64,
+    ) -> Vec<NodeId> {
+        let mut extra: HashMap<(ResourceKind, u32), u32> = HashMap::new();
+        for u in rt {
+            let key = (u.kind, self.slot(cycle, u.offset));
+            *extra.entry(key).or_insert(0) += 1;
+        }
+        let mut out: Vec<NodeId> = Vec::new();
+        for ((kind, slot), added) in extra {
+            let occupants = self.usage.get(&(kind, slot)).cloned().unwrap_or_default();
+            if occupants.len() as u32 + added > machine.resource_count(kind) {
+                for n in occupants {
+                    if !out.contains(&n) {
+                        out.push(n);
+                    }
+                }
+            }
+        }
+        out.sort_by_key(|n| self.placements.get(n).map(|p| p.order).unwrap_or(u64::MAX));
+        out
+    }
+
+    /// Total occupancy (number of reserved slots) of a resource kind —
+    /// used by the cluster-selection heuristic to prefer the least busy
+    /// cluster.
+    #[must_use]
+    pub fn occupancy(&self, kind: ResourceKind) -> u32 {
+        self.usage
+            .iter()
+            .filter(|((k, _), _)| *k == kind)
+            .map(|(_, v)| v.len() as u32)
+            .sum()
+    }
+
+    /// Placement order of a node (smaller = placed earlier), if scheduled.
+    #[must_use]
+    pub(crate) fn order_of(&self, node: NodeId) -> Option<u64> {
+        self.placements.get(&node).map(|p| p.order)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vliw::{LatencyModel, Opcode};
+
+    fn machine() -> MachineConfig {
+        MachineConfig::paper_config(2, 32).unwrap()
+    }
+
+    fn rt(op: Opcode, cluster: u16) -> ReservationTable {
+        ReservationTable::for_op(op, ClusterId(cluster), &LatencyModel::default())
+    }
+
+    #[test]
+    fn place_and_query() {
+        let m = machine();
+        let mut s = PartialSchedule::new(4);
+        assert!(s.try_place(&m, NodeId(0), 3, ClusterId(0), rt(Opcode::FpAdd, 0)));
+        assert!(s.is_scheduled(NodeId(0)));
+        assert_eq!(s.cycle_of(NodeId(0)), Some(3));
+        assert_eq!(s.cluster_of(NodeId(0)), Some(ClusterId(0)));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.min_cycle(), Some(3));
+        assert_eq!(s.max_cycle(), Some(3));
+    }
+
+    #[test]
+    fn capacity_is_enforced_per_modulo_slot() {
+        let m = machine(); // 2 memory ports per cluster
+        let mut s = PartialSchedule::new(2);
+        assert!(s.try_place(&m, NodeId(0), 0, ClusterId(0), rt(Opcode::Load, 0)));
+        assert!(s.try_place(&m, NodeId(1), 2, ClusterId(0), rt(Opcode::Load, 0)));
+        // Cycle 4 maps to the same MRT slot (0) and both ports are taken.
+        assert!(!s.can_place(&m, &rt(Opcode::Load, 0), 4));
+        // The other cluster's ports are independent.
+        assert!(s.can_place(&m, &rt(Opcode::Load, 1), 4));
+        // Another kernel cycle is free.
+        assert!(s.can_place(&m, &rt(Opcode::Load, 0), 1));
+    }
+
+    #[test]
+    fn eject_releases_resources() {
+        let m = machine();
+        let mut s = PartialSchedule::new(1);
+        // 4 GP units in cluster 0 of the 2-cluster machine.
+        for i in 0..4u32 {
+            assert!(s.try_place(&m, NodeId(i), 0, ClusterId(0), rt(Opcode::FpAdd, 0)));
+        }
+        assert!(!s.can_place(&m, &rt(Opcode::FpAdd, 0), 0));
+        let cycle = s.eject(NodeId(2));
+        assert_eq!(cycle, 0);
+        assert!(!s.is_scheduled(NodeId(2)));
+        assert!(s.can_place(&m, &rt(Opcode::FpAdd, 0), 0));
+    }
+
+    #[test]
+    fn conflicts_report_first_placed_first() {
+        let m = machine();
+        let mut s = PartialSchedule::new(1);
+        for i in 0..4u32 {
+            s.place(NodeId(i), 0, ClusterId(0), rt(Opcode::FpAdd, 0));
+        }
+        let c = s.conflicts(&m, &rt(Opcode::FpAdd, 0), 0);
+        assert_eq!(c.len(), 4);
+        assert_eq!(c[0], NodeId(0), "first placed node reported first");
+    }
+
+    #[test]
+    fn negative_cycles_fold_into_the_mrt() {
+        let m = machine();
+        let mut s = PartialSchedule::new(3);
+        assert!(s.try_place(&m, NodeId(0), -1, ClusterId(0), rt(Opcode::Load, 0)));
+        assert!(s.try_place(&m, NodeId(1), 2, ClusterId(0), rt(Opcode::Load, 0)));
+        // Slot 2 now holds both memory ports' worth of work at cycle -1 and 2.
+        assert!(!s.can_place(&m, &rt(Opcode::Load, 0), 5));
+    }
+
+    #[test]
+    fn forced_placement_can_oversubscribe_and_conflicts_detect_it() {
+        let m = machine();
+        let mut s = PartialSchedule::new(1);
+        for i in 0..5u32 {
+            s.place(NodeId(i), 0, ClusterId(0), rt(Opcode::FpAdd, 0));
+        }
+        assert_eq!(s.len(), 5);
+        let c = s.conflicts(&m, &rt(Opcode::FpAdd, 0), 0);
+        assert_eq!(c.len(), 5);
+    }
+
+    #[test]
+    fn bus_capacity_limits_concurrent_moves() {
+        let m = machine(); // 2 buses
+        let lat = LatencyModel::default();
+        let mv = ReservationTable::for_move(ClusterId(0), ClusterId(1), &lat);
+        let mut s = PartialSchedule::new(1);
+        assert!(s.try_place(&m, NodeId(0), 0, ClusterId(1), mv.clone()));
+        // Second move in the same cycle: the out-port of cluster 0 is busy.
+        assert!(!s.can_place(&m, &mv, 0));
+        let mv_rev = ReservationTable::for_move(ClusterId(1), ClusterId(0), &lat);
+        // Opposite direction uses different ports and the second bus.
+        assert!(s.try_place(&m, NodeId(1), 0, ClusterId(0), mv_rev.clone()));
+        // A third move in the same cycle fails: no bus left.
+        let mv2 = ReservationTable::for_move(ClusterId(1), ClusterId(0), &lat);
+        assert!(!s.can_place(&m, &mv2, 0));
+    }
+
+    #[test]
+    fn occupancy_counts_reserved_slots() {
+        let m = machine();
+        let mut s = PartialSchedule::new(4);
+        s.place(NodeId(0), 0, ClusterId(0), rt(Opcode::FpDiv, 0));
+        assert!(m.resource_count(ResourceKind::GpUnit { cluster: ClusterId(0) }) >= 1);
+        assert_eq!(
+            s.occupancy(ResourceKind::GpUnit {
+                cluster: ClusterId(0)
+            }),
+            17,
+            "an unpipelined divide reserves its unit for 17 cycles"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "already scheduled")]
+    fn double_placement_panics() {
+        let mut s = PartialSchedule::new(2);
+        s.place(NodeId(0), 0, ClusterId(0), ReservationTable::new());
+        s.place(NodeId(0), 1, ClusterId(0), ReservationTable::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "not scheduled")]
+    fn ejecting_unscheduled_node_panics() {
+        let mut s = PartialSchedule::new(2);
+        let _ = s.eject(NodeId(7));
+    }
+}

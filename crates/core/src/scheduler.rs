@@ -1,0 +1,500 @@
+//! The MIRS-C driver: the iterative scheduling loop of Figure 4 of the
+//! paper, plus the Forcing-and-Ejection backtracking heuristic.
+
+use crate::error::ScheduleError;
+use crate::options::SchedulerOptions;
+use crate::prefetch::apply_prefetch_policy;
+use crate::priority::PriorityList;
+use crate::result::{Placement, ScheduleResult, SchedulerStats};
+use crate::schedule::PartialSchedule;
+use ddg::{hrms, mii, DepGraph, Loop, NodeId};
+use std::collections::HashMap;
+use std::time::Instant;
+use vliw::{ClusterId, MachineConfig, Opcode, ReservationTable};
+
+/// Direction in which the scheduler searches for a free slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Direction {
+    /// From `EarlyStart` towards `LateStart`.
+    Forward,
+    /// From `LateStart` towards `EarlyStart`.
+    Backward,
+}
+
+/// Search window for one node: where to look for a free cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Window {
+    pub early: i64,
+    pub late: i64,
+    pub direction: Direction,
+}
+
+/// Mutable state of one scheduling attempt (one II value).
+pub(crate) struct SchedState<'m> {
+    pub machine: &'m MachineConfig,
+    pub opts: SchedulerOptions,
+    pub graph: DepGraph,
+    pub sched: PartialSchedule,
+    pub plist: PriorityList,
+    /// Cycle at which each node was scheduled the last time (before a
+    /// possible ejection) — drives the forced cycle of the paper.
+    pub prev_cycle: HashMap<NodeId, i64>,
+    /// (source, destination) clusters of every live move node.
+    pub move_route: HashMap<NodeId, (ClusterId, ClusterId)>,
+    /// Remaining scheduling attempts before the II must be increased.
+    pub budget: i64,
+    /// Total spill operations inserted in this attempt (safety valve).
+    pub spills_inserted: u32,
+    pub stats: SchedulerStats,
+}
+
+/// Outcome of one attempt at a fixed II.
+enum AttemptOutcome {
+    Success(Box<ScheduleResult>),
+    Restart,
+}
+
+/// The MIRS-C scheduler.
+///
+/// Construct one per machine configuration and call
+/// [`MirsScheduler::schedule`] for each loop. The scheduler is stateless
+/// between loops and therefore `Send + Sync`.
+#[derive(Debug, Clone)]
+pub struct MirsScheduler<'m> {
+    machine: &'m MachineConfig,
+    opts: SchedulerOptions,
+}
+
+impl<'m> MirsScheduler<'m> {
+    /// New scheduler for `machine` with the given options.
+    #[must_use]
+    pub fn new(machine: &'m MachineConfig, opts: SchedulerOptions) -> Self {
+        Self { machine, opts }
+    }
+
+    /// The machine this scheduler targets.
+    #[must_use]
+    pub fn machine(&self) -> &MachineConfig {
+        self.machine
+    }
+
+    /// The options this scheduler uses.
+    #[must_use]
+    pub fn options(&self) -> &SchedulerOptions {
+        &self.opts
+    }
+
+    /// Software-pipeline `lp`, producing a modulo schedule with integrated
+    /// register spilling and cluster assignment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScheduleError::EmptyLoop`] for empty loop bodies and
+    /// [`ScheduleError::NotConverged`] if no valid schedule is found before
+    /// the II exceeds [`SchedulerOptions::max_ii`].
+    pub fn schedule(&self, lp: &Loop) -> Result<ScheduleResult, ScheduleError> {
+        if lp.graph.node_count() == 0 {
+            return Err(ScheduleError::EmptyLoop {
+                loop_name: lp.name.clone(),
+            });
+        }
+        let start = Instant::now();
+        let lat = self.machine.latencies();
+        let mut base_graph = lp.graph.clone();
+        apply_prefetch_policy(&mut base_graph, lat, &self.opts.prefetch, lp.trip_count);
+
+        let bounds = mii::mii(
+            &base_graph,
+            lat,
+            self.machine.total_gp_units(),
+            self.machine.total_mem_ports(),
+        );
+        let mii_value = bounds.mii();
+        let mut ii = mii_value;
+        let mut restarts = 0u32;
+        let mut carried_stats = SchedulerStats::default();
+        loop {
+            if ii > self.opts.max_ii {
+                return Err(ScheduleError::NotConverged {
+                    loop_name: lp.name.clone(),
+                    last_ii: ii - 1,
+                });
+            }
+            match self.attempt(lp, &base_graph, ii, mii_value, &mut carried_stats) {
+                AttemptOutcome::Success(mut result) => {
+                    result.stats.restarts = restarts;
+                    result.stats.scheduling_seconds = start.elapsed().as_secs_f64();
+                    return Ok(*result);
+                }
+                AttemptOutcome::Restart => {
+                    restarts += 1;
+                    ii += 1;
+                }
+            }
+        }
+    }
+
+    /// One scheduling attempt at a fixed II (steps 1–6 of Figure 4).
+    fn attempt(
+        &self,
+        lp: &Loop,
+        base_graph: &DepGraph,
+        ii: u32,
+        mii_value: u32,
+        carried: &mut SchedulerStats,
+    ) -> AttemptOutcome {
+        let lat = self.machine.latencies();
+        let graph = base_graph.clone();
+        let order = hrms::hrms_order(&graph, lat);
+        let budget = i64::from(self.opts.budget_ratio) * order.len() as i64;
+        let mut st = SchedState {
+            machine: self.machine,
+            opts: self.opts,
+            graph,
+            sched: PartialSchedule::new(ii),
+            plist: PriorityList::from_order(&order),
+            prev_cycle: HashMap::new(),
+            move_route: HashMap::new(),
+            budget,
+            spills_inserted: 0,
+            stats: std::mem::take(carried),
+        };
+
+        while let Some(u) = st.plist.pop() {
+            if !st.graph.is_live(u) {
+                continue; // removed move node that was still pending
+            }
+            st.stats.attempts += 1;
+
+            // (C1) cluster selection; moves keep their fixed destination.
+            let cluster = if st.graph.op(u).opcode.is_move() {
+                st.move_route.get(&u).map(|&(_, d)| d).unwrap_or(ClusterId::ZERO)
+            } else {
+                st.select_cluster(u)
+            };
+
+            // (C2) insert and schedule the communication operations.
+            let mut non_iterative_failure = false;
+            if !st.graph.op(u).opcode.is_move() {
+                let moves = st.ensure_moves(u, cluster);
+                for mv in moves {
+                    let dst = st.move_route[&mv].1;
+                    if !st.schedule_node(mv, dst) {
+                        non_iterative_failure = true;
+                        break;
+                    }
+                }
+            }
+
+            // (3) schedule the node itself.
+            if !non_iterative_failure && !st.schedule_node(u, cluster) {
+                non_iterative_failure = true;
+            }
+            if non_iterative_failure {
+                // Backtracking disabled and no free slot: give up on this II.
+                *carried = st.stats;
+                return AttemptOutcome::Restart;
+            }
+
+            // (4)+(5) register allocation / spill insertion.
+            st.check_and_insert_spill();
+
+            // (6) restart heuristic.
+            if st.should_restart() {
+                *carried = st.stats;
+                return AttemptOutcome::Restart;
+            }
+            st.budget -= 1;
+        }
+
+        // Final register-allocation check: with spilling disabled (the
+        // behaviour of non-iterative schedulers such as [31]) the only
+        // remedy for excessive register pressure is a larger II.
+        let requirements = st.register_requirements();
+        let fits = st
+            .machine
+            .cluster_ids()
+            .zip(&requirements)
+            .all(|(c, &rr)| rr <= st.machine.registers_in(c));
+        if !fits {
+            *carried = st.stats;
+            return AttemptOutcome::Restart;
+        }
+
+        let result = st.into_result(&lp.name, ii, mii_value);
+        AttemptOutcome::Success(Box::new(result))
+    }
+}
+
+impl SchedState<'_> {
+    /// Reservation table of `node` when executed on `cluster`.
+    pub(crate) fn reservation_for(&self, node: NodeId, cluster: ClusterId) -> ReservationTable {
+        let op = self.graph.op(node);
+        if op.opcode.is_move() {
+            let (src, dst) = self
+                .move_route
+                .get(&node)
+                .copied()
+                .unwrap_or((cluster, cluster));
+            debug_assert_eq!(dst, cluster);
+            self.machine.move_reservation(src, dst)
+        } else {
+            self.machine.reservation(op.opcode, cluster)
+        }
+    }
+
+    /// Schedule one node on `cluster` (Figure 3 of the paper): find a free
+    /// slot in the search window, or force it and eject conflicting and
+    /// dependence-violated operations. Returns `false` only when
+    /// backtracking is disabled and no free slot exists.
+    pub(crate) fn schedule_node(&mut self, node: NodeId, cluster: ClusterId) -> bool {
+        let window = self.window(node, cluster);
+        let rt = self.reservation_for(node, cluster);
+        if let Some(cycle) = self.find_free_slot(&rt, window) {
+            self.sched.place(node, cycle, cluster, rt);
+            self.prev_cycle.insert(node, cycle);
+            return true;
+        }
+        if !self.opts.enable_backtracking {
+            return false;
+        }
+        self.force_and_eject(node, cluster, rt, window);
+        true
+    }
+
+    /// The Forcing-and-Ejection heuristic (Section 3.2.2).
+    fn force_and_eject(
+        &mut self,
+        node: NodeId,
+        cluster: ClusterId,
+        rt: ReservationTable,
+        window: Window,
+    ) -> i64 {
+        self.stats.forced += 1;
+        let prev = self.prev_cycle.get(&node).copied();
+        let forced_cycle = match window.direction {
+            Direction::Forward => match prev {
+                Some(p) => window.early.max(p + 1),
+                None => window.early,
+            },
+            Direction::Backward => match prev {
+                Some(p) => window.late.min(p - 1),
+                None => window.late,
+            },
+        };
+
+        // Eject operations causing resource conflicts: one at a time, always
+        // the one placed earliest (or all of them under the ablation policy).
+        loop {
+            if self.sched.can_place(self.machine, &rt, forced_cycle) {
+                break;
+            }
+            let conflicts = self.sched.conflicts(self.machine, &rt, forced_cycle);
+            if conflicts.is_empty() {
+                // The operation conflicts with itself in the modulo
+                // reservation table (e.g. an unpipelined divide whose
+                // occupancy exceeds II × units on this cluster): no amount
+                // of ejection helps, the II is infeasible. Exhaust the
+                // budget so the restart heuristic raises the II.
+                self.budget = 0;
+                break;
+            }
+            match self.opts.ejection {
+                crate::options::EjectionPolicy::One => {
+                    self.eject_node(conflicts[0]);
+                }
+                crate::options::EjectionPolicy::All => {
+                    for c in conflicts {
+                        if self.sched.is_scheduled(c) {
+                            self.eject_node(c);
+                        }
+                    }
+                }
+            }
+        }
+        self.sched.place(node, forced_cycle, cluster, rt);
+        self.prev_cycle.insert(node, forced_cycle);
+
+        // Eject previously scheduled predecessors and successors whose
+        // dependence constraints are violated by the forced placement.
+        let lat = self.machine.latencies();
+        let ii = i64::from(self.sched.ii());
+        let mut violated: Vec<NodeId> = Vec::new();
+        for e in self.graph.in_edges(node) {
+            let edge = *self.graph.edge(e);
+            if edge.from == node {
+                continue;
+            }
+            if let Some(pc) = self.sched.cycle_of(edge.from) {
+                let latency = self.graph.edge_latency(e, lat);
+                if forced_cycle < pc + latency - ii * i64::from(edge.distance)
+                    && !violated.contains(&edge.from)
+                {
+                    violated.push(edge.from);
+                }
+            }
+        }
+        for e in self.graph.out_edges(node) {
+            let edge = *self.graph.edge(e);
+            if edge.to == node {
+                continue;
+            }
+            if let Some(sc) = self.sched.cycle_of(edge.to) {
+                let latency = self.graph.edge_latency(e, lat);
+                if sc < forced_cycle + latency - ii * i64::from(edge.distance)
+                    && !violated.contains(&edge.to)
+                {
+                    violated.push(edge.to);
+                }
+            }
+        }
+        for v in violated {
+            if self.sched.is_scheduled(v) {
+                self.eject_node(v);
+            }
+        }
+        forced_cycle
+    }
+
+    /// Eject `node` from the partial schedule and return it to the priority
+    /// list with its original priority. Move operations attached to an
+    /// ejected operation are removed from the graph (Section 3.3.2): a move
+    /// whose producer is the ejected node, or whose unique consumer is the
+    /// ejected node, no longer has a reason to exist — the cluster decision
+    /// will be reconsidered when the node is picked up again.
+    pub(crate) fn eject_node(&mut self, node: NodeId) {
+        let cycle = self.sched.eject(node);
+        self.prev_cycle.insert(node, cycle);
+        self.stats.ejections += 1;
+        self.plist.push_back(node);
+
+        if self.graph.op(node).opcode.is_move() {
+            return;
+        }
+        // Collect moves to remove: predecessor moves for which `node` is the
+        // unique consumer, and successor moves (node is their producer).
+        let mut to_remove: Vec<NodeId> = Vec::new();
+        for p in self.graph.predecessors(node) {
+            if self.graph.is_live(p) && self.graph.op(p).opcode.is_move() {
+                let consumers: Vec<NodeId> = self
+                    .graph
+                    .op(p)
+                    .dest
+                    .map(|v| self.graph.consumers_of(v))
+                    .unwrap_or_default();
+                if consumers == vec![node] {
+                    to_remove.push(p);
+                }
+            }
+        }
+        for s in self.graph.successors(node) {
+            if self.graph.is_live(s) && self.graph.op(s).opcode.is_move() && !to_remove.contains(&s)
+            {
+                to_remove.push(s);
+            }
+        }
+        for mv in to_remove {
+            self.remove_move(mv);
+        }
+    }
+
+    /// Remove a move node from the graph, reconnecting its consumers to the
+    /// original value (the move's operand) and preserving dependence edges
+    /// by linking the predecessor directly to the former consumers.
+    pub(crate) fn remove_move(&mut self, mv: NodeId) {
+        debug_assert!(self.graph.op(mv).opcode.is_move());
+        if self.sched.is_scheduled(mv) {
+            self.sched.eject(mv);
+        }
+        self.plist.remove(mv);
+        self.move_route.remove(&mv);
+        self.stats.moves_removed += 1;
+
+        let src_value = self.graph.op(mv).srcs.first().copied();
+        let dest_value = self.graph.op(mv).dest;
+        let producer = src_value.and_then(|v| self.graph.value(v).producer);
+
+        // Reconnect outgoing edges to the predecessor and restore operands.
+        if let (Some(src_value), Some(dest_value)) = (src_value, dest_value) {
+            let out_edges = self.graph.out_edges(mv);
+            for e in out_edges {
+                let edge = *self.graph.edge(e);
+                if edge.to == mv {
+                    continue;
+                }
+                if let Some(producer) = producer {
+                    if producer != edge.to {
+                        self.graph.add_flow(producer, edge.to, src_value, edge.distance);
+                    }
+                }
+                // Restore the consumer's operand list.
+                let consumer_srcs = &mut self.graph.op_mut(edge.to).srcs;
+                for s in consumer_srcs.iter_mut() {
+                    if *s == dest_value {
+                        *s = src_value;
+                    }
+                }
+            }
+        }
+        self.graph.remove_node(mv);
+    }
+
+    /// Restart heuristic (Section 3.2.4): restart with a larger II if the
+    /// budget is exhausted or the memory traffic (including freshly inserted
+    /// spill code) can no longer fit in the memory ports at the current II.
+    pub(crate) fn should_restart(&mut self) -> bool {
+        if self.budget <= 0 {
+            if std::env::var("MIRS_DEBUG").is_ok() { eprintln!("RESTART: budget exhausted, ii={} rr={:?} spills={}", self.sched.ii(), self.register_requirements(), self.spills_inserted); }
+            return true;
+        }
+        let mem_ops = self.graph.count_ops(Opcode::is_memory) as u64;
+        let capacity = u64::from(self.machine.total_mem_ports()) * u64::from(self.sched.ii());
+        if mem_ops > capacity {
+            if std::env::var("MIRS_DEBUG").is_ok() { eprintln!("RESTART: traffic {} > {} at ii={}", mem_ops, capacity, self.sched.ii()); }
+            return true;
+        }
+        // Safety valve: runaway spilling means the II is too tight.
+        if self.spills_inserted as usize > 10 * self.graph.node_count().max(8) {
+            if std::env::var("MIRS_DEBUG").is_ok() { eprintln!("RESTART: runaway spills {} at ii={}", self.spills_inserted, self.sched.ii()); }
+            return true;
+        }
+        false
+    }
+
+    /// Package the finished attempt as a [`ScheduleResult`].
+    fn into_result(mut self, loop_name: &str, ii: u32, mii_value: u32) -> ScheduleResult {
+        let min_cycle = self.sched.min_cycle().unwrap_or(0);
+        let max_cycle = self.sched.max_cycle().unwrap_or(0);
+        let placements: HashMap<NodeId, Placement> = self
+            .sched
+            .iter()
+            .map(|(n, cycle, cluster)| {
+                (
+                    n,
+                    Placement {
+                        cycle: cycle - min_cycle,
+                        cluster,
+                    },
+                )
+            })
+            .collect();
+        let max_live = self.register_requirements();
+        let memory_traffic = self.graph.count_ops(Opcode::is_memory) as u32;
+        let moves = self.graph.count_ops(Opcode::is_move) as u32;
+        self.stats.spill_stores = self.graph.count_ops(|o| o == Opcode::SpillStore) as u32;
+        self.stats.spill_loads = self.graph.count_ops(|o| o == Opcode::SpillLoad) as u32;
+        self.stats.moves = moves;
+        ScheduleResult {
+            loop_name: loop_name.to_string(),
+            ii,
+            mii: mii_value,
+            graph: self.graph,
+            placements,
+            max_live,
+            memory_traffic,
+            moves,
+            span: u32::try_from(max_cycle - min_cycle).unwrap_or(0),
+            stats: self.stats,
+        }
+    }
+}

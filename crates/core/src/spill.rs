@@ -1,0 +1,398 @@
+//! Register-pressure tracking and the Check-and-Insert-Spill heuristic
+//! (Section 3.2.3 of the paper).
+
+use crate::scheduler::SchedState;
+use ddg::lifetime::{LifetimeInterval, Pressure};
+use ddg::{MemAccess, NodeId, NodeOrigin, OperationData, ValueId};
+use std::collections::HashMap;
+use vliw::{ClusterId, Opcode};
+
+/// Array-symbol namespace reserved for spill locations (far above anything a
+/// loop builder will allocate, so spill accesses never alias program arrays).
+const SPILL_ARRAY_BASE: u32 = 1 << 24;
+
+/// A lifetime section selected for spilling.
+#[derive(Debug, Clone)]
+struct SpillCandidate {
+    /// Value whose lifetime section is spilled.
+    value: ValueId,
+    /// Cluster whose pressure the spill relieves (kept for debugging dumps).
+    #[allow(dead_code)]
+    cluster: ClusterId,
+    /// Consumers to be fed from memory instead of the register.
+    consumers: Vec<NodeId>,
+    /// Iteration distance with which the (first) consumer reads the value.
+    distance: u32,
+    /// Whether the value is a loop invariant (no store needed, the value
+    /// already lives in memory).
+    invariant: bool,
+    /// Whether a spill store for this value already exists in the graph.
+    already_stored: bool,
+    /// Ratio lifetime-span / memory-traffic used for selection.
+    ratio: f64,
+}
+
+impl SchedState<'_> {
+    /// Per-cluster lifetime intervals and invariant counts of the current
+    /// partial schedule. A value's register lives in the cluster of its
+    /// producer; loop invariants occupy one register in every cluster with a
+    /// scheduled consumer, for the whole loop.
+    fn cluster_lifetimes(&self) -> (Vec<Vec<LifetimeInterval>>, Vec<u32>) {
+        let k = self.machine.clusters();
+        let mut intervals: Vec<Vec<LifetimeInterval>> = vec![Vec::new(); k];
+        let mut invariants: Vec<u32> = vec![0; k];
+        let ii = i64::from(self.sched.ii());
+        for v in self.graph.value_ids() {
+            let data = self.graph.value(v);
+            if data.invariant {
+                let mut used: Vec<usize> = Vec::new();
+                for c in self.graph.consumers_of(v) {
+                    if let Some(cc) = self.sched.cluster_of(c) {
+                        if !used.contains(&cc.index()) {
+                            used.push(cc.index());
+                        }
+                    }
+                }
+                for idx in used {
+                    invariants[idx] += 1;
+                }
+                continue;
+            }
+            let Some(producer) = data.producer else { continue };
+            let Some(def_cycle) = self.sched.cycle_of(producer) else { continue };
+            let cluster = self.sched.cluster_of(producer).expect("scheduled node has a cluster");
+            let mut end = def_cycle;
+            for e in self.graph.out_edges(producer) {
+                let edge = self.graph.edge(e);
+                if edge.value != Some(v) {
+                    continue;
+                }
+                if let Some(uc) = self.sched.cycle_of(edge.to) {
+                    end = end.max(uc + ii * i64::from(edge.distance));
+                }
+            }
+            intervals[cluster.index()].push(LifetimeInterval {
+                value: v,
+                start: def_cycle,
+                end,
+            });
+        }
+        (intervals, invariants)
+    }
+
+    /// `MaxLive` per cluster of the current partial schedule.
+    pub(crate) fn register_requirements(&self) -> Vec<u32> {
+        let (intervals, invariants) = self.cluster_lifetimes();
+        intervals
+            .iter()
+            .zip(&invariants)
+            .map(|(iv, &extra)| Pressure::compute(iv.iter(), self.sched.ii(), extra).max_live())
+            .collect()
+    }
+
+    /// The Check-and-Insert-Spill heuristic (step 5 of Figure 4).
+    ///
+    /// For every cluster whose register requirements `RR` exceed
+    /// `SG × AR` (or simply `AR` once the priority list is empty), select
+    /// the lifetime section crossing the critical cycle with the best
+    /// span-to-traffic ratio and spill it; if no section spans at least the
+    /// minimum span gauge, eject one of the operations scheduled in the
+    /// critical cycle instead. Inserted spill operations enter the priority
+    /// list and enlarge the scheduling budget.
+    pub(crate) fn check_and_insert_spill(&mut self) {
+        if !self.opts.enable_spill {
+            return;
+        }
+        let finishing = self.plist.is_empty();
+        let mut inserted_nodes: u32 = 0;
+        for cluster in self.machine.cluster_ids() {
+            let available = self.machine.registers_in(cluster);
+            if available == u32::MAX {
+                continue; // unbounded register file: never spill
+            }
+            // Bounded number of spill actions per invocation; the heuristic
+            // runs again after every scheduled node anyway.
+            for _ in 0..4 {
+                let (intervals, invariants) = self.cluster_lifetimes();
+                let pressure = Pressure::compute(
+                    intervals[cluster.index()].iter(),
+                    self.sched.ii(),
+                    invariants[cluster.index()],
+                );
+                let rr = pressure.max_live();
+                let threshold = if finishing {
+                    available
+                } else {
+                    (self.opts.spill_gauge * f64::from(available)).floor() as u32
+                };
+                if rr <= threshold {
+                    break;
+                }
+                let critical = pressure.critical_cycle();
+                // When the priority list is empty the schedule *must* fit the
+                // register file, so the minimum-span requirement is relaxed
+                // rather than giving up on the II (the paper's MSG filter
+                // assumes there is always a long-enough lifetime; synthetic
+                // wide loops can violate that).
+                let min_span = if finishing { 1 } else { self.opts.min_span_gauge };
+                match self.select_spill_candidate(cluster, critical, &intervals[cluster.index()], min_span) {
+                    Some(cand) => {
+                        inserted_nodes += self.insert_spill(&cand);
+                    }
+                    None => {
+                        self.eject_from_critical_cycle(cluster, critical);
+                        break;
+                    }
+                }
+            }
+        }
+        if inserted_nodes > 0 {
+            self.spills_inserted += inserted_nodes;
+            self.budget += i64::from(inserted_nodes) * i64::from(self.opts.budget_ratio);
+        }
+    }
+
+    /// Select the use (lifetime section) crossing the critical cycle with
+    /// the largest ratio between its span and the memory traffic its
+    /// spilling would create. Returns `None` when no section spans at least
+    /// the minimum span gauge.
+    fn select_spill_candidate(
+        &self,
+        cluster: ClusterId,
+        critical_cycle: u32,
+        intervals: &[LifetimeInterval],
+        min_span: i64,
+    ) -> Option<SpillCandidate> {
+        let ii = self.sched.ii();
+        let lat = self.machine.latencies();
+        let mut best: Option<SpillCandidate> = None;
+        let mut consider = |cand: SpillCandidate| match &best {
+            Some(b) if b.ratio >= cand.ratio => {}
+            _ => best = Some(cand),
+        };
+
+        // Loop invariants used in this cluster: spilling reloads them from
+        // memory in front of each consumer (they already live in memory), so
+        // the traffic is one load and the span is the whole loop.
+        if i64::from(ii) >= min_span {
+            for v in self.graph.value_ids() {
+                let data = self.graph.value(v);
+                if !data.invariant {
+                    continue;
+                }
+                let consumers: Vec<NodeId> = self
+                    .graph
+                    .consumers_of(v)
+                    .into_iter()
+                    .filter(|&c| self.sched.cluster_of(c) == Some(cluster))
+                    .collect();
+                if consumers.is_empty() {
+                    continue;
+                }
+                consider(SpillCandidate {
+                    value: v,
+                    cluster,
+                    consumers,
+                    distance: 0,
+                    invariant: true,
+                    already_stored: true,
+                    ratio: f64::from(ii),
+                });
+            }
+        }
+
+        // Loop-variant lifetimes crossing the critical cycle.
+        for interval in intervals {
+            if !interval.covers_kernel_cycle(critical_cycle, ii) {
+                continue;
+            }
+            let v = interval.value;
+            let data = self.graph.value(v);
+            let Some(producer) = data.producer else { continue };
+            // Values produced by spill loads are not spilled again.
+            if matches!(self.graph.op(producer).origin, NodeOrigin::SpillLoad { .. }) {
+                continue;
+            }
+            let def_cycle = self.sched.cycle_of(producer).expect("interval producer scheduled");
+            let producer_latency = i64::from(self.graph.op(producer).latency(lat));
+            let already_stored = self.existing_spill_store(v).is_some();
+            // Consider every scheduled consumer as the end of a use section.
+            let mut uses: Vec<(NodeId, i64, u32)> = Vec::new();
+            for e in self.graph.out_edges(producer) {
+                let edge = self.graph.edge(e);
+                if edge.value != Some(v) {
+                    continue;
+                }
+                if matches!(self.graph.op(edge.to).origin, NodeOrigin::SpillStore { .. }) {
+                    continue;
+                }
+                if let Some(uc) = self.sched.cycle_of(edge.to) {
+                    uses.push((edge.to, uc + i64::from(ii) * i64::from(edge.distance), edge.distance));
+                }
+            }
+            uses.sort_by_key(|&(_, c, _)| c);
+            let mut prev = def_cycle;
+            let mut first = true;
+            for (idx, &(_, use_cycle, _)) in uses.iter().enumerate() {
+                let span = use_cycle - prev;
+                let non_spillable = if first { producer_latency } else { 0 };
+                let section_start = prev;
+                prev = use_cycle;
+                first = false;
+                if span - non_spillable < min_span {
+                    continue;
+                }
+                let section = LifetimeInterval {
+                    value: v,
+                    start: section_start,
+                    end: use_cycle,
+                };
+                if !section.covers_kernel_cycle(critical_cycle, ii) {
+                    continue;
+                }
+                // Spill the value from this section onwards: every consumer
+                // whose use falls at or after the section reads the reload,
+                // so the register lifetime really ends at the section start.
+                let tail: Vec<NodeId> = uses[idx..].iter().map(|&(c, _, _)| c).collect();
+                let distance = uses[idx..].iter().map(|&(_, _, d)| d).min().unwrap_or(0);
+                let unscheduled: Vec<NodeId> = self
+                    .graph
+                    .consumers_of(v)
+                    .into_iter()
+                    .filter(|c| !self.sched.is_scheduled(*c) && !tail.contains(c))
+                    .filter(|&c| !matches!(self.graph.op(c).origin, NodeOrigin::SpillStore { .. }))
+                    .collect();
+                let mut consumers = tail;
+                consumers.extend(unscheduled);
+                let traffic = 1.0 + if already_stored { 0.0 } else { 1.0 };
+                consider(SpillCandidate {
+                    value: v,
+                    cluster,
+                    consumers,
+                    distance,
+                    invariant: false,
+                    already_stored,
+                    ratio: span as f64 / traffic,
+                });
+            }
+        }
+        best
+    }
+
+    /// Existing spill store node for `value`, if one was inserted earlier.
+    fn existing_spill_store(&self, value: ValueId) -> Option<NodeId> {
+        self.graph.node_ids().find(|&n| {
+            matches!(self.graph.op(n).origin, NodeOrigin::SpillStore { value: v } if v == value)
+        })
+    }
+
+    /// Memory location used to spill `value`.
+    fn spill_location(&self, value: ValueId, invariant: bool) -> MemAccess {
+        MemAccess {
+            array: SPILL_ARRAY_BASE + value.0,
+            offset: 0,
+            stride: if invariant { 0 } else { 8 },
+        }
+    }
+
+    /// Insert the spill store/load operations for `cand`, rewiring its
+    /// consumers to read the reloaded value. Returns the number of nodes
+    /// inserted into the graph (and the priority list).
+    fn insert_spill(&mut self, cand: &SpillCandidate) -> u32 {
+        let mut inserted = 0;
+        let location = self.spill_location(cand.value, cand.invariant);
+        let value_name = self.graph.value(cand.value).name.clone();
+
+        let store = if cand.invariant || cand.already_stored {
+            self.existing_spill_store(cand.value)
+        } else {
+            let producer = self
+                .graph
+                .value(cand.value)
+                .producer
+                .expect("variant spill candidates have a producer");
+            let mut data = OperationData::new(Opcode::SpillStore, None, vec![cand.value]);
+            data.mem = Some(location);
+            data.origin = NodeOrigin::SpillStore { value: cand.value };
+            data.name = format!("spill.store {value_name}");
+            let st = self.graph.add_node(data);
+            self.graph.add_flow(producer, st, cand.value, 0);
+            self.plist.insert_with_anchor(st, producer);
+            inserted += 1;
+            Some(st)
+        };
+
+        // One reload feeding all selected consumers (they are in the same
+        // cluster and, for invariants, read the same location).
+        let reload_value = self.graph.add_value(format!("{value_name}.reload"), false);
+        let mut data = OperationData::new(Opcode::SpillLoad, Some(reload_value), vec![]);
+        data.mem = Some(location);
+        data.origin = NodeOrigin::SpillLoad { value: cand.value };
+        data.name = format!("spill.load {value_name}");
+        let ld = self.graph.add_node(data);
+        inserted += 1;
+        if let Some(st) = store {
+            self.graph.add_edge(ddg::DepEdge {
+                from: st,
+                to: ld,
+                kind: ddg::DepKind::Memory,
+                distance: cand.distance,
+                delay_override: None,
+                value: None,
+            });
+        }
+        let anchor = cand.consumers[0];
+        self.plist.insert_with_anchor(ld, anchor);
+
+        for &consumer in &cand.consumers {
+            // Remove the direct flow edge(s) carrying the spilled value.
+            let mut to_remove = Vec::new();
+            for e in self.graph.in_edges(consumer) {
+                let edge = self.graph.edge(e);
+                if edge.value == Some(cand.value) {
+                    to_remove.push(e);
+                }
+            }
+            for e in to_remove {
+                self.graph.remove_edge(e);
+            }
+            for s in &mut self.graph.op_mut(consumer).srcs {
+                if *s == cand.value {
+                    *s = reload_value;
+                }
+            }
+            self.graph.add_flow(ld, consumer, reload_value, 0);
+        }
+        inserted
+    }
+
+    /// Fallback when no lifetime section is worth spilling: eject one of the
+    /// operations scheduled in the critical cycle of the over-pressured
+    /// cluster, forcing its non-spillable section out of that cycle.
+    fn eject_from_critical_cycle(&mut self, cluster: ClusterId, critical_cycle: u32) {
+        let ii = i64::from(self.sched.ii());
+        let mut candidates: Vec<(u64, NodeId)> = Vec::new();
+        let placements: HashMap<NodeId, (i64, ClusterId)> = self
+            .sched
+            .iter()
+            .map(|(n, c, cl)| (n, (c, cl)))
+            .collect();
+        for (n, (cycle, cl)) in placements {
+            if cl != cluster {
+                continue;
+            }
+            if cycle.rem_euclid(ii) as u32 != critical_cycle {
+                continue;
+            }
+            if !self.graph.op(n).opcode.defines_register() {
+                continue;
+            }
+            let order = self.sched.order_of(n).unwrap_or(u64::MAX);
+            candidates.push((order, n));
+        }
+        candidates.sort_unstable();
+        if let Some(&(_, victim)) = candidates.first() {
+            self.eject_node(victim);
+        }
+    }
+}

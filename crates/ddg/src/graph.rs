@@ -1,0 +1,593 @@
+//! Mutable data-dependence graph.
+
+use crate::ids::{NodeId, ValueId};
+use crate::loop_ir::MemAccess;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use vliw::{LatencyModel, MemLatency, Opcode};
+
+/// Identifier of a dependence edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct EdgeId(pub u32);
+
+impl EdgeId {
+    /// Numeric index of the edge.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// Kind of dependence between two operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DepKind {
+    /// True (flow) dependence through a register: producer → consumer.
+    RegFlow,
+    /// Anti dependence through a register: consumer → next definition.
+    RegAnti,
+    /// Output dependence through a register: definition → next definition.
+    RegOutput,
+    /// Dependence through memory (store/load ordering).
+    Memory,
+    /// Control dependence.
+    Control,
+}
+
+/// A dependence edge with an iteration distance.
+///
+/// The modulo-scheduling constraint implied by an edge is
+/// `cycle(to) ≥ cycle(from) + latency − II · distance`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DepEdge {
+    /// Source node.
+    pub from: NodeId,
+    /// Destination node.
+    pub to: NodeId,
+    /// Dependence kind.
+    pub kind: DepKind,
+    /// Iteration distance (0 = same iteration, ≥ 1 = loop carried).
+    pub distance: u32,
+    /// Explicit latency override; when `None` the latency is derived from
+    /// the producer opcode (flow) or the dependence kind.
+    pub delay_override: Option<i64>,
+    /// The value carried by a register dependence, if any. Used by the
+    /// scheduler when rerouting dependences around spill and move nodes.
+    pub value: Option<ValueId>,
+}
+
+/// Why a node exists in the graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NodeOrigin {
+    /// Operation of the original loop body.
+    Original,
+    /// Store inserted by the register spiller for `value`.
+    SpillStore {
+        /// Spilled value.
+        value: ValueId,
+    },
+    /// Load inserted by the register spiller for `value`.
+    SpillLoad {
+        /// Spilled value.
+        value: ValueId,
+    },
+    /// Inter-cluster move of `value` inserted by the cluster assigner.
+    Move {
+        /// Moved value.
+        value: ValueId,
+    },
+}
+
+impl NodeOrigin {
+    /// Whether the node was inserted by the scheduler (spill or move).
+    #[must_use]
+    pub fn is_inserted(self) -> bool {
+        !matches!(self, NodeOrigin::Original)
+    }
+}
+
+/// Payload of a graph node: one machine operation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OperationData {
+    /// Machine opcode.
+    pub opcode: Opcode,
+    /// Value defined by the operation (if any).
+    pub dest: Option<ValueId>,
+    /// Values read by the operation (may contain loop invariants).
+    pub srcs: Vec<ValueId>,
+    /// Memory access pattern for loads/stores (used by the cache simulator).
+    pub mem: Option<MemAccess>,
+    /// Latency assumption used when scheduling this operation's result
+    /// (binding prefetching schedules selected loads with miss latency).
+    pub mem_latency: MemLatency,
+    /// Provenance of the node.
+    pub origin: NodeOrigin,
+    /// Human-readable name for debugging and reports.
+    pub name: String,
+}
+
+impl OperationData {
+    /// New original operation.
+    #[must_use]
+    pub fn new(opcode: Opcode, dest: Option<ValueId>, srcs: Vec<ValueId>) -> Self {
+        Self {
+            opcode,
+            dest,
+            srcs,
+            mem: None,
+            mem_latency: MemLatency::Hit,
+            origin: NodeOrigin::Original,
+            name: String::new(),
+        }
+    }
+
+    /// Scheduling latency of the operation under its memory assumption.
+    #[must_use]
+    pub fn latency(&self, lat: &LatencyModel) -> u32 {
+        lat.latency_of(self.opcode, self.mem_latency)
+    }
+}
+
+/// A value (virtual register) of the loop.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ValueData {
+    /// Human-readable name.
+    pub name: String,
+    /// Node producing the value; `None` for loop invariants (live-in values).
+    pub producer: Option<NodeId>,
+    /// Whether the value is loop invariant (single value for all iterations).
+    pub invariant: bool,
+}
+
+/// Mutable data-dependence graph of one loop body.
+///
+/// Node and edge ids are stable: removal leaves a tombstone, so ids held by
+/// the scheduler never dangle silently (accessors panic on removed ids,
+/// `contains`/`is_live` can be used to check).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct DepGraph {
+    nodes: Vec<Option<OperationData>>,
+    values: Vec<ValueData>,
+    edges: Vec<Option<DepEdge>>,
+    succ: Vec<Vec<EdgeId>>,
+    pred: Vec<Vec<EdgeId>>,
+}
+
+impl DepGraph {
+    /// Create an empty graph.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    // ----- values ---------------------------------------------------------
+
+    /// Register a new value. `producer` may be filled in later with
+    /// [`DepGraph::set_producer`].
+    pub fn add_value(&mut self, name: impl Into<String>, invariant: bool) -> ValueId {
+        let id = ValueId(u32::try_from(self.values.len()).expect("too many values"));
+        self.values.push(ValueData {
+            name: name.into(),
+            producer: None,
+            invariant,
+        });
+        id
+    }
+
+    /// Value metadata.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[must_use]
+    pub fn value(&self, v: ValueId) -> &ValueData {
+        &self.values[v.index()]
+    }
+
+    /// Number of registered values.
+    #[must_use]
+    pub fn value_count(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Iterate over all value ids.
+    pub fn value_ids(&self) -> impl Iterator<Item = ValueId> + '_ {
+        (0..self.values.len()).map(|i| ValueId(i as u32))
+    }
+
+    /// Set the producer of a value (also marks it non-invariant).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn set_producer(&mut self, v: ValueId, producer: NodeId) {
+        let data = &mut self.values[v.index()];
+        data.producer = Some(producer);
+        data.invariant = false;
+    }
+
+    /// Nodes that read `v` (live nodes only).
+    #[must_use]
+    pub fn consumers_of(&self, v: ValueId) -> Vec<NodeId> {
+        self.node_ids()
+            .filter(|&n| self.op(n).srcs.contains(&v))
+            .collect()
+    }
+
+    // ----- nodes ----------------------------------------------------------
+
+    /// Add a node; if it defines a value the value's producer is updated.
+    pub fn add_node(&mut self, data: OperationData) -> NodeId {
+        let id = NodeId(u32::try_from(self.nodes.len()).expect("too many nodes"));
+        if let Some(dest) = data.dest {
+            self.set_producer(dest, id);
+        }
+        self.nodes.push(Some(data));
+        self.succ.push(Vec::new());
+        self.pred.push(Vec::new());
+        id
+    }
+
+    /// Remove a node and all edges incident to it. The node id becomes dead.
+    ///
+    /// If the node produced a value, the value keeps existing but loses its
+    /// producer (callers re-point it as needed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` was already removed.
+    pub fn remove_node(&mut self, n: NodeId) {
+        assert!(self.is_live(n), "node {n} already removed");
+        let incident: Vec<EdgeId> = self.succ[n.index()]
+            .iter()
+            .chain(self.pred[n.index()].iter())
+            .copied()
+            .collect();
+        for e in incident {
+            if self.edges[e.index()].is_some() {
+                self.remove_edge(e);
+            }
+        }
+        if let Some(op) = &self.nodes[n.index()] {
+            if let Some(dest) = op.dest {
+                if self.values[dest.index()].producer == Some(n) {
+                    self.values[dest.index()].producer = None;
+                }
+            }
+        }
+        self.nodes[n.index()] = None;
+    }
+
+    /// Whether `n` refers to a live (non-removed) node.
+    #[must_use]
+    pub fn is_live(&self, n: NodeId) -> bool {
+        self.nodes
+            .get(n.index())
+            .map(Option::is_some)
+            .unwrap_or(false)
+    }
+
+    /// Operation data of node `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` was removed or never existed.
+    #[must_use]
+    pub fn op(&self, n: NodeId) -> &OperationData {
+        self.nodes[n.index()]
+            .as_ref()
+            .unwrap_or_else(|| panic!("node {n} is not live"))
+    }
+
+    /// Mutable operation data of node `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` was removed or never existed.
+    pub fn op_mut(&mut self, n: NodeId) -> &mut OperationData {
+        self.nodes[n.index()]
+            .as_mut()
+            .unwrap_or_else(|| panic!("node {n} is not live"))
+    }
+
+    /// Number of live nodes.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.nodes.iter().filter(|n| n.is_some()).count()
+    }
+
+    /// Whether the graph has no live nodes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.node_count() == 0
+    }
+
+    /// Upper bound on node indices ever allocated (including removed ones).
+    #[must_use]
+    pub fn node_capacity(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Iterate over live node ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, n)| n.as_ref().map(|_| NodeId(i as u32)))
+    }
+
+    // ----- edges ----------------------------------------------------------
+
+    /// Add a dependence edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is not a live node.
+    pub fn add_edge(&mut self, edge: DepEdge) -> EdgeId {
+        assert!(self.is_live(edge.from), "edge source {} not live", edge.from);
+        assert!(self.is_live(edge.to), "edge target {} not live", edge.to);
+        let id = EdgeId(u32::try_from(self.edges.len()).expect("too many edges"));
+        self.succ[edge.from.index()].push(id);
+        self.pred[edge.to.index()].push(id);
+        self.edges.push(Some(edge));
+        id
+    }
+
+    /// Convenience: add a flow dependence carrying `value` from `from` to `to`.
+    pub fn add_flow(&mut self, from: NodeId, to: NodeId, value: ValueId, distance: u32) -> EdgeId {
+        self.add_edge(DepEdge {
+            from,
+            to,
+            kind: DepKind::RegFlow,
+            distance,
+            delay_override: None,
+            value: Some(value),
+        })
+    }
+
+    /// Remove an edge. The edge id becomes dead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the edge was already removed.
+    pub fn remove_edge(&mut self, e: EdgeId) {
+        let edge = self.edges[e.index()]
+            .take()
+            .unwrap_or_else(|| panic!("edge {e} is not live"));
+        self.succ[edge.from.index()].retain(|&x| x != e);
+        self.pred[edge.to.index()].retain(|&x| x != e);
+    }
+
+    /// Edge data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` was removed or never existed.
+    #[must_use]
+    pub fn edge(&self, e: EdgeId) -> &DepEdge {
+        self.edges[e.index()]
+            .as_ref()
+            .unwrap_or_else(|| panic!("edge {e} is not live"))
+    }
+
+    /// Number of live edges.
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.edges.iter().filter(|e| e.is_some()).count()
+    }
+
+    /// Iterate over live edge ids.
+    pub fn edge_ids(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        self.edges
+            .iter()
+            .enumerate()
+            .filter_map(|(i, e)| e.as_ref().map(|_| EdgeId(i as u32)))
+    }
+
+    /// Outgoing edges of `n` (to live targets).
+    #[must_use]
+    pub fn out_edges(&self, n: NodeId) -> Vec<EdgeId> {
+        self.succ[n.index()].clone()
+    }
+
+    /// Incoming edges of `n` (from live sources).
+    #[must_use]
+    pub fn in_edges(&self, n: NodeId) -> Vec<EdgeId> {
+        self.pred[n.index()].clone()
+    }
+
+    /// Successor nodes of `n` (deduplicated, in edge order).
+    #[must_use]
+    pub fn successors(&self, n: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        for &e in &self.succ[n.index()] {
+            let to = self.edge(e).to;
+            if !out.contains(&to) {
+                out.push(to);
+            }
+        }
+        out
+    }
+
+    /// Predecessor nodes of `n` (deduplicated, in edge order).
+    #[must_use]
+    pub fn predecessors(&self, n: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        for &e in &self.pred[n.index()] {
+            let from = self.edge(e).from;
+            if !out.contains(&from) {
+                out.push(from);
+            }
+        }
+        out
+    }
+
+    /// Effective latency of a dependence edge under the given latency model.
+    ///
+    /// Flow dependences inherit the latency of the producing operation
+    /// (under its memory-latency assumption); anti dependences allow the
+    /// consumer and the next definition in the same cycle (latency 0);
+    /// output and memory dependences impose a one-cycle separation. An
+    /// explicit `delay_override` on the edge wins over all of these.
+    #[must_use]
+    pub fn edge_latency(&self, e: EdgeId, lat: &LatencyModel) -> i64 {
+        let edge = self.edge(e);
+        if let Some(d) = edge.delay_override {
+            return d;
+        }
+        match edge.kind {
+            DepKind::RegFlow => i64::from(self.op(edge.from).latency(lat)),
+            DepKind::RegAnti => 0,
+            DepKind::RegOutput | DepKind::Memory | DepKind::Control => 1,
+        }
+    }
+
+    /// Sum of operation latencies of all live nodes — a cheap upper bound on
+    /// the schedule length used to bound II searches.
+    #[must_use]
+    pub fn latency_sum(&self, lat: &LatencyModel) -> u64 {
+        self.node_ids()
+            .map(|n| u64::from(self.op(n).latency(lat)) + 1)
+            .sum()
+    }
+
+    /// Count live nodes whose opcode satisfies `pred`.
+    pub fn count_ops(&self, mut pred: impl FnMut(Opcode) -> bool) -> usize {
+        self.node_ids().filter(|&n| pred(self.op(n).opcode)).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple_graph() -> (DepGraph, NodeId, NodeId, ValueId) {
+        let mut g = DepGraph::new();
+        let v = g.add_value("t", false);
+        let a = g.add_node(OperationData::new(Opcode::Load, Some(v), vec![]));
+        let w = g.add_value("u", false);
+        let b = g.add_node(OperationData::new(Opcode::FpAdd, Some(w), vec![v]));
+        g.add_flow(a, b, v, 0);
+        (g, a, b, v)
+    }
+
+    #[test]
+    fn add_and_query_nodes_edges() {
+        let (g, a, b, v) = simple_graph();
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.successors(a), vec![b]);
+        assert_eq!(g.predecessors(b), vec![a]);
+        assert_eq!(g.value(v).producer, Some(a));
+        assert_eq!(g.consumers_of(v), vec![b]);
+    }
+
+    #[test]
+    fn removing_a_node_removes_incident_edges() {
+        let (mut g, a, b, _v) = simple_graph();
+        g.remove_node(a);
+        assert!(!g.is_live(a));
+        assert!(g.is_live(b));
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.predecessors(b), vec![]);
+        assert_eq!(g.node_count(), 1);
+    }
+
+    #[test]
+    fn removing_producer_clears_value_producer() {
+        let (mut g, a, _b, v) = simple_graph();
+        g.remove_node(a);
+        assert_eq!(g.value(v).producer, None);
+    }
+
+    #[test]
+    fn node_ids_are_stable_across_removal() {
+        let (mut g, a, b, _v) = simple_graph();
+        g.remove_node(a);
+        // b keeps its id and data.
+        assert_eq!(g.op(b).opcode, Opcode::FpAdd);
+        let c = g.add_node(OperationData::new(Opcode::Store, None, vec![]));
+        assert_ne!(c, a, "removed ids are not reused");
+    }
+
+    #[test]
+    fn edge_latency_rules() {
+        let lat = LatencyModel::default();
+        let mut g = DepGraph::new();
+        let v = g.add_value("x", false);
+        let w = g.add_value("y", false);
+        let mul = g.add_node(OperationData::new(Opcode::FpMul, Some(v), vec![]));
+        let add = g.add_node(OperationData::new(Opcode::FpAdd, Some(w), vec![v]));
+        let flow = g.add_flow(mul, add, v, 0);
+        assert_eq!(g.edge_latency(flow, &lat), 4);
+        let anti = g.add_edge(DepEdge {
+            from: add,
+            to: mul,
+            kind: DepKind::RegAnti,
+            distance: 1,
+            delay_override: None,
+            value: Some(v),
+        });
+        assert_eq!(g.edge_latency(anti, &lat), 0);
+        let ovr = g.add_edge(DepEdge {
+            from: mul,
+            to: add,
+            kind: DepKind::Memory,
+            distance: 0,
+            delay_override: Some(5),
+            value: None,
+        });
+        assert_eq!(g.edge_latency(ovr, &lat), 5);
+    }
+
+    #[test]
+    fn flow_latency_respects_prefetch_assumption() {
+        let lat = LatencyModel::default();
+        let mut g = DepGraph::new();
+        let v = g.add_value("x", false);
+        let w = g.add_value("y", false);
+        let ld = g.add_node(OperationData::new(Opcode::Load, Some(v), vec![]));
+        let add = g.add_node(OperationData::new(Opcode::FpAdd, Some(w), vec![v]));
+        let e = g.add_flow(ld, add, v, 0);
+        assert_eq!(g.edge_latency(e, &lat), 2);
+        g.op_mut(ld).mem_latency = MemLatency::Miss;
+        assert_eq!(g.edge_latency(e, &lat), 25);
+    }
+
+    #[test]
+    #[should_panic(expected = "not live")]
+    fn accessing_removed_node_panics() {
+        let (mut g, a, _b, _v) = simple_graph();
+        g.remove_node(a);
+        let _ = g.op(a);
+    }
+
+    #[test]
+    fn count_ops_filters_by_opcode() {
+        let (g, _a, _b, _v) = simple_graph();
+        assert_eq!(g.count_ops(|o| o.is_memory()), 1);
+        assert_eq!(g.count_ops(|o| o == Opcode::FpAdd), 1);
+        assert_eq!(g.count_ops(|o| o == Opcode::FpDiv), 0);
+    }
+
+    #[test]
+    fn invariant_values_have_no_producer() {
+        let mut g = DepGraph::new();
+        let inv = g.add_value("c", true);
+        assert!(g.value(inv).invariant);
+        assert_eq!(g.value(inv).producer, None);
+        let v = g.add_value("t", false);
+        let n = g.add_node(OperationData::new(Opcode::FpMul, Some(v), vec![inv]));
+        assert_eq!(g.consumers_of(inv), vec![n]);
+        // Defining a node with dest = inv would clear the invariant flag.
+        let inv2 = g.add_value("d", true);
+        let m = g.add_node(OperationData::new(Opcode::FpAdd, Some(inv2), vec![]));
+        assert!(!g.value(inv2).invariant);
+        assert_eq!(g.value(inv2).producer, Some(m));
+    }
+}

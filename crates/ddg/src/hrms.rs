@@ -1,0 +1,325 @@
+//! HRMS-style node pre-ordering.
+//!
+//! MIRS-C pre-orders the nodes of the dependence graph into a *priority
+//! list* using the strategy of Hypernode Reduction Modulo Scheduling
+//! (Llosa et al., MICRO-28). The ordering has two goals (Section 3.1 of the
+//! paper):
+//!
+//! 1. recurrences are given priority, in decreasing `RecMII` order, so that
+//!    no recurrence circuit is stretched beyond its minimum length; and
+//! 2. when a node is picked for scheduling, the partial schedule contains
+//!    only predecessors of the node or only successors of it — never both —
+//!    unless the node closes a recurrence circuit. This lets the scheduler
+//!    place each node as close as possible to its already-placed neighbours
+//!    and keeps value lifetimes short.
+//!
+//! The implementation follows the published two-level scheme: process the
+//! recurrence sets from most to least constraining, extend each with the
+//! nodes on dependence paths towards the already-ordered region, and order
+//! each set by walking outwards from the already-ordered nodes, preferring
+//! deeper nodes (longest-path height) so the critical path is not delayed.
+
+use crate::graph::DepGraph;
+use crate::ids::NodeId;
+use crate::recurrence::recurrences;
+use std::collections::{HashMap, HashSet};
+use vliw::LatencyModel;
+
+/// Compute the HRMS-style priority order of all live nodes.
+///
+/// The first element has the highest priority (it is scheduled first).
+#[must_use]
+pub fn hrms_order(g: &DepGraph, lat: &LatencyModel) -> Vec<NodeId> {
+    let nodes: Vec<NodeId> = g.node_ids().collect();
+    if nodes.is_empty() {
+        return Vec::new();
+    }
+    let height = heights(g, lat);
+    let recs = recurrences(g, lat);
+
+    let mut ordered: Vec<NodeId> = Vec::with_capacity(nodes.len());
+    let mut placed: HashSet<NodeId> = HashSet::new();
+
+    for rec in &recs {
+        let mut set: HashSet<NodeId> = rec
+            .nodes
+            .iter()
+            .copied()
+            .filter(|n| !placed.contains(n))
+            .collect();
+        if set.is_empty() {
+            continue;
+        }
+        // Extend with nodes on paths between the already-ordered region and
+        // this recurrence (in either direction) so intermediate nodes are
+        // ordered before later, less constrained sets.
+        let path = path_nodes(g, &placed, &set);
+        set.extend(path);
+        order_set(g, &set, &height, &mut ordered, &mut placed);
+    }
+
+    // Remaining nodes (not in any recurrence or connecting path).
+    let rest: HashSet<NodeId> = nodes
+        .iter()
+        .copied()
+        .filter(|n| !placed.contains(n))
+        .collect();
+    if !rest.is_empty() {
+        order_set(g, &rest, &height, &mut ordered, &mut placed);
+    }
+    debug_assert_eq!(ordered.len(), nodes.len());
+    ordered
+}
+
+/// Longest-path height of every node over intra-iteration (distance 0)
+/// edges: the accumulated latency from the node to the furthest sink.
+/// Deeper nodes are more urgent.
+#[must_use]
+pub fn heights(g: &DepGraph, lat: &LatencyModel) -> HashMap<NodeId, i64> {
+    let nodes: Vec<NodeId> = g.node_ids().collect();
+    let mut height: HashMap<NodeId, i64> = nodes.iter().map(|&n| (n, 0)).collect();
+    // The distance-0 subgraph is acyclic (a zero-distance cycle would make
+    // the loop unschedulable), so a simple relaxation to fixpoint converges
+    // in at most |V| rounds.
+    for _ in 0..nodes.len() {
+        let mut changed = false;
+        for e in g.edge_ids() {
+            let edge = g.edge(e);
+            if edge.distance != 0 {
+                continue;
+            }
+            let cand = height[&edge.to] + g.edge_latency(e, lat);
+            if cand > height[&edge.from] {
+                height.insert(edge.from, cand);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    height
+}
+
+/// Nodes lying on a dependence path (any direction, distance-0 edges)
+/// between `from_set` and `to_set`, excluding nodes already in either set.
+fn path_nodes(g: &DepGraph, a: &HashSet<NodeId>, b: &HashSet<NodeId>) -> Vec<NodeId> {
+    if a.is_empty() || b.is_empty() {
+        return Vec::new();
+    }
+    let down_a = reach(g, a, true);
+    let up_b = reach(g, b, false);
+    let down_b = reach(g, b, true);
+    let up_a = reach(g, a, false);
+    g.node_ids()
+        .filter(|n| !a.contains(n) && !b.contains(n))
+        .filter(|n| (down_a.contains(n) && up_b.contains(n)) || (down_b.contains(n) && up_a.contains(n)))
+        .collect()
+}
+
+fn reach(g: &DepGraph, start: &HashSet<NodeId>, forward: bool) -> HashSet<NodeId> {
+    let mut seen: HashSet<NodeId> = start.clone();
+    let mut stack: Vec<NodeId> = start.iter().copied().collect();
+    while let Some(n) = stack.pop() {
+        let next = if forward {
+            g.successors(n)
+        } else {
+            g.predecessors(n)
+        };
+        for m in next {
+            if seen.insert(m) {
+                stack.push(m);
+            }
+        }
+    }
+    seen
+}
+
+/// Order the nodes of `set`, appending to `ordered`.
+///
+/// Nodes become *ready* when, within the yet-unordered part of the whole
+/// graph, they have no unordered predecessor or no unordered successor —
+/// i.e. placing them keeps the "only predecessors or only successors
+/// already placed" property. Among ready nodes the one with the largest
+/// height is placed first. If a cycle makes no node ready (the last node of
+/// a recurrence circuit), the node with fewest unordered neighbours breaks
+/// the tie.
+fn order_set(
+    g: &DepGraph,
+    set: &HashSet<NodeId>,
+    height: &HashMap<NodeId, i64>,
+    ordered: &mut Vec<NodeId>,
+    placed: &mut HashSet<NodeId>,
+) {
+    let mut remaining: HashSet<NodeId> = set.iter().copied().filter(|n| !placed.contains(n)).collect();
+    while !remaining.is_empty() {
+        let mut best: Option<(NodeId, (i64, i64))> = None;
+        for &n in &remaining {
+            let unordered_preds = g
+                .predecessors(n)
+                .into_iter()
+                .filter(|p| !placed.contains(p) && *p != n)
+                .count() as i64;
+            let unordered_succs = g
+                .successors(n)
+                .into_iter()
+                .filter(|s| !placed.contains(s) && *s != n)
+                .count() as i64;
+            let ready = unordered_preds == 0 || unordered_succs == 0;
+            // Primary key: readiness; secondary: height; tertiary: fewer
+            // unordered neighbours (to close recurrences quickly).
+            let key = (
+                if ready { 1 } else { 0 } * 1_000_000 + height.get(&n).copied().unwrap_or(0),
+                -(unordered_preds + unordered_succs),
+            );
+            match best {
+                Some((_, bk)) if bk >= key => {}
+                _ => best = Some((n, key)),
+            }
+        }
+        let (chosen, _) = best.expect("remaining set is non-empty");
+        remaining.remove(&chosen);
+        placed.insert(chosen);
+        ordered.push(chosen);
+    }
+}
+
+/// Check the HRMS invariant for an ordering: when each node is placed, the
+/// already-placed nodes among its neighbours are only predecessors or only
+/// successors (nodes inside recurrence circuits are exempt). Returns the
+/// ids of nodes violating the property; used by tests.
+#[must_use]
+pub fn ordering_violations(g: &DepGraph, lat: &LatencyModel, order: &[NodeId]) -> Vec<NodeId> {
+    let in_rec = crate::recurrence::nodes_in_recurrences(g, lat);
+    let mut placed: HashSet<NodeId> = HashSet::new();
+    let mut bad = Vec::new();
+    for &n in order {
+        if !in_rec.contains(&n) {
+            let has_pred = g.predecessors(n).iter().any(|p| placed.contains(p));
+            let has_succ = g.successors(n).iter().any(|s| placed.contains(s));
+            if has_pred && has_succ {
+                bad.push(n);
+            }
+        }
+        placed.insert(n);
+    }
+    bad
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::LoopBuilder;
+    use vliw::Opcode;
+
+    #[test]
+    fn ordering_covers_all_nodes_exactly_once() {
+        let mut b = LoopBuilder::new("t");
+        let a = b.invariant("a");
+        let x = b.load("x");
+        let y = b.load("y");
+        let m = b.op(Opcode::FpMul, &[a, x]);
+        let s = b.op(Opcode::FpAdd, &[m, y]);
+        b.store("y", s);
+        let lp = b.finish(10);
+        let lat = LatencyModel::default();
+        let order = hrms_order(&lp.graph, &lat);
+        assert_eq!(order.len(), lp.graph.node_count());
+        let set: HashSet<_> = order.iter().collect();
+        assert_eq!(set.len(), order.len());
+    }
+
+    #[test]
+    fn recurrence_nodes_come_first() {
+        let mut b = LoopBuilder::new("t");
+        let x = b.load("x");
+        let s = b.recurrence("s");
+        let add = b.op(Opcode::FpAdd, &[s, x]);
+        b.close_recurrence(s, add, 1);
+        let y = b.load("y");
+        let t = b.op(Opcode::FpMul, &[y, y]);
+        b.store("z", t);
+        let lp = b.finish(10);
+        let lat = LatencyModel::default();
+        let order = hrms_order(&lp.graph, &lat);
+        let add_node = lp
+            .graph
+            .node_ids()
+            .find(|&n| lp.graph.op(n).opcode == Opcode::FpAdd)
+            .unwrap();
+        assert_eq!(order[0], add_node, "the recurrence node is ordered first");
+    }
+
+    #[test]
+    fn no_violations_on_dags() {
+        let mut b = LoopBuilder::new("dag");
+        let x = b.load("x");
+        let y = b.load("y");
+        let m1 = b.op(Opcode::FpMul, &[x, y]);
+        let m2 = b.op(Opcode::FpMul, &[x, x]);
+        let s = b.op(Opcode::FpAdd, &[m1, m2]);
+        b.store("z", s);
+        let lp = b.finish(10);
+        let lat = LatencyModel::default();
+        let order = hrms_order(&lp.graph, &lat);
+        assert!(ordering_violations(&lp.graph, &lat, &order).is_empty());
+    }
+
+    #[test]
+    fn heights_follow_the_critical_path() {
+        let mut b = LoopBuilder::new("chain");
+        let x = b.load("x");
+        let m = b.op(Opcode::FpMul, &[x, x]);
+        let a = b.op(Opcode::FpAdd, &[m, m]);
+        b.store("y", a);
+        let lp = b.finish(10);
+        let lat = LatencyModel::default();
+        let h = heights(&lp.graph, &lat);
+        let load = lp
+            .graph
+            .node_ids()
+            .find(|&n| lp.graph.op(n).opcode == Opcode::Load)
+            .unwrap();
+        let store = lp
+            .graph
+            .node_ids()
+            .find(|&n| lp.graph.op(n).opcode == Opcode::Store)
+            .unwrap();
+        // load is the deepest node: 2 (load) + 4 (mul) + 4 (add) to the store.
+        assert_eq!(h[&load], 10);
+        assert_eq!(h[&store], 0);
+    }
+
+    #[test]
+    fn empty_graph_gives_empty_order() {
+        let g = DepGraph::new();
+        assert!(hrms_order(&g, &LatencyModel::default()).is_empty());
+    }
+
+    #[test]
+    fn deeper_recurrence_ordered_before_shallower() {
+        let mut b = LoopBuilder::new("two-recs");
+        let x = b.load("x");
+        let s1 = b.recurrence("s1");
+        let a1 = b.op(Opcode::FpAdd, &[s1, x]);
+        b.close_recurrence(s1, a1, 1);
+        let s2 = b.recurrence("s2");
+        let d2 = b.op(Opcode::FpDiv, &[s2, x]);
+        b.close_recurrence(s2, d2, 1);
+        let lp = b.finish(10);
+        let lat = LatencyModel::default();
+        let order = hrms_order(&lp.graph, &lat);
+        let div = lp
+            .graph
+            .node_ids()
+            .find(|&n| lp.graph.op(n).opcode == Opcode::FpDiv)
+            .unwrap();
+        let add = lp
+            .graph
+            .node_ids()
+            .find(|&n| lp.graph.op(n).opcode == Opcode::FpAdd)
+            .unwrap();
+        let pos = |n| order.iter().position(|&m| m == n).unwrap();
+        assert!(pos(div) < pos(add), "RecMII 17 recurrence before RecMII 4 one");
+    }
+}

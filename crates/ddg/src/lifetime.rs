@@ -1,0 +1,299 @@
+//! Value lifetimes and register pressure of a modulo schedule.
+//!
+//! Register requirements of a software-pipelined loop are approximated by
+//! `MaxLive`, the maximum number of simultaneously live values over the
+//! steady-state kernel (Rau et al., PLDI'92). A value defined at absolute
+//! cycle `d` and last used at absolute cycle `u` is live during `[d, u)`;
+//! because one iteration starts every `II` cycles, a lifetime longer than
+//! `II` overlaps with the lifetimes of the same value from neighbouring
+//! iterations, contributing more than one register.
+//!
+//! This module provides the interval bookkeeping shared by the schedulers:
+//! folding lifetimes modulo the II, `MaxLive`, the *critical cycle* (the
+//! kernel cycle with the most live values), and the decomposition of a
+//! lifetime into *uses* (sections between consecutive consumers) that the
+//! spill heuristic of MIRS-C chooses from.
+
+use crate::ids::ValueId;
+use serde::{Deserialize, Serialize};
+
+/// Lifetime of one value in absolute schedule cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LifetimeInterval {
+    /// The value this lifetime belongs to.
+    pub value: ValueId,
+    /// Cycle at which the value is defined (available).
+    pub start: i64,
+    /// Cycle just after the last use (exclusive). `end ≥ start`.
+    pub end: i64,
+}
+
+impl LifetimeInterval {
+    /// Length of the lifetime in cycles.
+    #[must_use]
+    pub fn len(&self) -> i64 {
+        (self.end - self.start).max(0)
+    }
+
+    /// Whether the lifetime is empty (defined and never used later).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of registers this lifetime requires in a schedule with the
+    /// given II (the number of overlapping copies of itself).
+    #[must_use]
+    pub fn registers(&self, ii: u32) -> u32 {
+        let ii = i64::from(ii.max(1));
+        u32::try_from((self.len() + ii - 1) / ii).unwrap_or(u32::MAX)
+    }
+
+    /// Whether the lifetime covers some absolute cycle congruent to
+    /// `kernel_cycle` modulo `ii`.
+    #[must_use]
+    pub fn covers_kernel_cycle(&self, kernel_cycle: u32, ii: u32) -> bool {
+        let ii = i64::from(ii.max(1));
+        if self.is_empty() {
+            return false;
+        }
+        if self.len() >= ii {
+            return true;
+        }
+        let c = i64::from(kernel_cycle);
+        // Does any k exist with start <= c + k*ii < end?
+        let k = (self.start - c).div_euclid(ii);
+        for cand in [k, k + 1] {
+            let cyc = c + cand * ii;
+            if cyc >= self.start && cyc < self.end {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// Per-kernel-cycle register pressure of a set of lifetimes.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Pressure {
+    per_cycle: Vec<u32>,
+}
+
+impl Pressure {
+    /// Fold `intervals` modulo `ii` and count live values per kernel cycle.
+    /// `extra` is added uniformly to every cycle (used for loop invariants,
+    /// which hold one register for the whole loop).
+    #[must_use]
+    pub fn compute<'a>(
+        intervals: impl IntoIterator<Item = &'a LifetimeInterval>,
+        ii: u32,
+        extra: u32,
+    ) -> Self {
+        let ii = ii.max(1);
+        let mut per_cycle = vec![extra; ii as usize];
+        for iv in intervals {
+            if iv.is_empty() {
+                continue;
+            }
+            let full = iv.len() / i64::from(ii);
+            let rem = iv.len() % i64::from(ii);
+            for c in &mut per_cycle {
+                *c += u32::try_from(full).unwrap_or(u32::MAX);
+            }
+            let start_mod = iv.start.rem_euclid(i64::from(ii));
+            for k in 0..rem {
+                let c = usize::try_from((start_mod + k).rem_euclid(i64::from(ii))).unwrap();
+                per_cycle[c] += 1;
+            }
+        }
+        Self { per_cycle }
+    }
+
+    /// Maximum number of simultaneously live values (`MaxLive`).
+    #[must_use]
+    pub fn max_live(&self) -> u32 {
+        self.per_cycle.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Kernel cycle with the highest pressure (the *critical cycle*).
+    #[must_use]
+    pub fn critical_cycle(&self) -> u32 {
+        self.per_cycle
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &p)| p)
+            .map(|(i, _)| i as u32)
+            .unwrap_or(0)
+    }
+
+    /// Pressure at a given kernel cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cycle >= II`.
+    #[must_use]
+    pub fn at(&self, cycle: u32) -> u32 {
+        self.per_cycle[cycle as usize]
+    }
+
+    /// Pressure per kernel cycle.
+    #[must_use]
+    pub fn per_cycle(&self) -> &[u32] {
+        &self.per_cycle
+    }
+}
+
+/// One *use* of a value: the section of its lifetime between the previous
+/// consumer (or the definition) and the current consumer. The spill
+/// heuristic of MIRS-C selects whole uses for spilling and never spills the
+/// first `non-spillable` cycles after the definition (the producer's
+/// latency, during which the value is still in the pipeline).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UseSection {
+    /// The value the section belongs to.
+    pub value: ValueId,
+    /// Cycle at which the section starts (previous use or definition).
+    pub start: i64,
+    /// Cycle of the consumer that ends the section.
+    pub end: i64,
+    /// Whether the section begins at the definition and therefore contains
+    /// the non-spillable part of the lifetime.
+    pub from_def: bool,
+}
+
+impl UseSection {
+    /// Section length in cycles.
+    #[must_use]
+    pub fn span(&self) -> i64 {
+        (self.end - self.start).max(0)
+    }
+}
+
+/// Split a value lifetime into use sections given its definition cycle and
+/// the (unsorted) cycles of its consumers.
+#[must_use]
+pub fn use_sections(value: ValueId, def_cycle: i64, mut use_cycles: Vec<i64>) -> Vec<UseSection> {
+    use_cycles.sort_unstable();
+    let mut out = Vec::with_capacity(use_cycles.len());
+    let mut prev = def_cycle;
+    let mut first = true;
+    for u in use_cycles {
+        out.push(UseSection {
+            value,
+            start: prev,
+            end: u,
+            from_def: first,
+        });
+        prev = u;
+        first = false;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(value: u32, start: i64, end: i64) -> LifetimeInterval {
+        LifetimeInterval {
+            value: ValueId(value),
+            start,
+            end,
+        }
+    }
+
+    #[test]
+    fn short_lifetime_needs_one_register() {
+        let i = iv(0, 2, 5);
+        assert_eq!(i.len(), 3);
+        assert_eq!(i.registers(4), 1);
+        assert_eq!(i.registers(2), 2);
+    }
+
+    #[test]
+    fn long_lifetime_overlaps_itself() {
+        // Lifetime of 10 cycles with II=4 needs ceil(10/4) = 3 registers.
+        assert_eq!(iv(0, 0, 10).registers(4), 3);
+    }
+
+    #[test]
+    fn pressure_counts_folded_lifetimes() {
+        // II = 4. Value A live [0, 3), value B live [2, 6).
+        let a = iv(0, 0, 3);
+        let b = iv(1, 2, 6);
+        // B is live at absolute cycles 2..6, i.e. at every kernel cycle once.
+        let p = Pressure::compute([&a, &b], 4, 0);
+        assert_eq!(p.per_cycle(), &[2, 2, 2, 1]);
+        assert_eq!(p.max_live(), 2);
+        assert!(p.critical_cycle() <= 2);
+    }
+
+    #[test]
+    fn invariants_add_uniform_pressure() {
+        let a = iv(0, 0, 2);
+        let p = Pressure::compute([&a], 4, 3);
+        assert_eq!(p.per_cycle(), &[4, 4, 3, 3]);
+        assert_eq!(p.max_live(), 4);
+    }
+
+    #[test]
+    fn lifetime_longer_than_ii_covers_every_cycle() {
+        let a = iv(0, 5, 30);
+        for c in 0..4 {
+            assert!(a.covers_kernel_cycle(c, 4));
+        }
+        let b = iv(1, 5, 7);
+        assert!(b.covers_kernel_cycle(1, 4)); // cycle 5
+        assert!(b.covers_kernel_cycle(2, 4)); // cycle 6
+        assert!(!b.covers_kernel_cycle(3, 4));
+        assert!(!b.covers_kernel_cycle(0, 4));
+    }
+
+    #[test]
+    fn empty_lifetime_contributes_nothing() {
+        let a = iv(0, 4, 4);
+        assert!(a.is_empty());
+        assert!(!a.covers_kernel_cycle(0, 4));
+        let p = Pressure::compute([&a], 4, 0);
+        assert_eq!(p.max_live(), 0);
+    }
+
+    #[test]
+    fn max_live_matches_manual_count() {
+        // Three values defined at cycles 0, 1, 2, each alive 6 cycles, II=3:
+        // every value needs 2 registers; at every kernel cycle all three
+        // values are live (each possibly twice).
+        let ivs = [iv(0, 0, 6), iv(1, 1, 7), iv(2, 2, 8)];
+        let p = Pressure::compute(ivs.iter(), 3, 0);
+        assert_eq!(p.max_live(), 6);
+    }
+
+    #[test]
+    fn use_sections_partition_the_lifetime() {
+        let secs = use_sections(ValueId(0), 0, vec![9, 3, 6]);
+        assert_eq!(secs.len(), 3);
+        assert_eq!(secs[0].start, 0);
+        assert_eq!(secs[0].end, 3);
+        assert!(secs[0].from_def);
+        assert_eq!(secs[1].start, 3);
+        assert_eq!(secs[1].end, 6);
+        assert!(!secs[1].from_def);
+        assert_eq!(secs[2].end, 9);
+        let total: i64 = secs.iter().map(UseSection::span).sum();
+        assert_eq!(total, 9);
+    }
+
+    #[test]
+    fn use_sections_of_unused_value_are_empty() {
+        assert!(use_sections(ValueId(0), 5, vec![]).is_empty());
+    }
+
+    #[test]
+    fn negative_start_cycles_fold_correctly() {
+        // Schedulers may place nodes at negative cycles before normalizing.
+        let a = iv(0, -3, 1);
+        let p = Pressure::compute([&a], 4, 0);
+        assert_eq!(p.max_live(), 1);
+        assert_eq!(p.per_cycle().iter().sum::<u32>(), 4);
+    }
+}

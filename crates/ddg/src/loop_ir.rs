@@ -1,0 +1,164 @@
+//! Loop-level IR: a dependence graph plus execution metadata.
+
+use crate::graph::DepGraph;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Memory access pattern of a load or store.
+///
+/// The address referenced in iteration `i` is
+/// `base(array) + offset + stride · i` (in bytes). The cache simulator
+/// assigns a distinct base address to every `array` symbol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MemAccess {
+    /// Symbolic array identifier (per-loop namespace).
+    pub array: u32,
+    /// Constant byte offset from the array base.
+    pub offset: i64,
+    /// Byte stride per iteration (0 for loop-invariant addresses).
+    pub stride: i64,
+}
+
+impl MemAccess {
+    /// Sequential double-precision accesses over `array` (stride 8 bytes).
+    #[must_use]
+    pub fn sequential(array: u32) -> Self {
+        Self {
+            array,
+            offset: 0,
+            stride: 8,
+        }
+    }
+
+    /// Strided access over `array` with the given byte stride.
+    #[must_use]
+    pub fn strided(array: u32, stride: i64) -> Self {
+        Self {
+            array,
+            offset: 0,
+            stride,
+        }
+    }
+
+    /// Loop-invariant address (same location every iteration).
+    #[must_use]
+    pub fn invariant(array: u32) -> Self {
+        Self {
+            array,
+            offset: 0,
+            stride: 0,
+        }
+    }
+
+    /// Byte address referenced in iteration `i`, given the array base.
+    #[must_use]
+    pub fn address(&self, base: u64, iteration: u64) -> u64 {
+        let rel = self.offset + self.stride * iteration as i64;
+        base.wrapping_add(rel as u64)
+    }
+}
+
+/// An innermost loop: the unit of software pipelining.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Loop {
+    /// Loop name (used in reports).
+    pub name: String,
+    /// Data-dependence graph of the loop body.
+    pub graph: DepGraph,
+    /// Number of iterations executed per entry of the loop.
+    pub trip_count: u64,
+    /// Relative weight of the loop in the workbench (fraction of total
+    /// benchmark execution time attributed to it).
+    pub weight: f64,
+}
+
+impl Loop {
+    /// Create a loop from an already-built graph.
+    #[must_use]
+    pub fn new(name: impl Into<String>, graph: DepGraph, trip_count: u64) -> Self {
+        Self {
+            name: name.into(),
+            graph,
+            trip_count,
+            weight: 1.0,
+        }
+    }
+
+    /// Set the workbench weight (builder style).
+    #[must_use]
+    pub fn with_weight(mut self, weight: f64) -> Self {
+        self.weight = weight;
+        self
+    }
+
+    /// Number of operations in the loop body.
+    #[must_use]
+    pub fn body_size(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    /// Number of memory operations in the loop body.
+    #[must_use]
+    pub fn memory_ops(&self) -> usize {
+        self.graph.count_ops(vliw::Opcode::is_memory)
+    }
+}
+
+impl fmt::Display for Loop {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({} ops, {} mem, trip {})",
+            self.name,
+            self.body_size(),
+            self.memory_ops(),
+            self.trip_count
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::LoopBuilder;
+    use vliw::Opcode;
+
+    #[test]
+    fn mem_access_addresses() {
+        let a = MemAccess::sequential(0);
+        assert_eq!(a.address(1000, 0), 1000);
+        assert_eq!(a.address(1000, 3), 1024);
+        let s = MemAccess::strided(1, 64);
+        assert_eq!(s.address(0, 2), 128);
+        let inv = MemAccess::invariant(2);
+        assert_eq!(inv.address(500, 9), 500);
+    }
+
+    #[test]
+    fn negative_stride_walks_backwards() {
+        let a = MemAccess {
+            array: 0,
+            offset: 800,
+            stride: -8,
+        };
+        assert_eq!(a.address(1000, 0), 1800);
+        assert_eq!(a.address(1000, 1), 1792);
+    }
+
+    #[test]
+    fn loop_counts_operations() {
+        let mut b = LoopBuilder::new("axpy");
+        let a = b.invariant("a");
+        let x = b.load("x");
+        let y = b.load("y");
+        let m = b.op(Opcode::FpMul, &[a, x]);
+        let s = b.op(Opcode::FpAdd, &[m, y]);
+        b.store("y", s);
+        let lp = b.finish(100).with_weight(0.5);
+        assert_eq!(lp.body_size(), 5);
+        assert_eq!(lp.memory_ops(), 3);
+        assert_eq!(lp.trip_count, 100);
+        assert!((lp.weight - 0.5).abs() < 1e-12);
+        assert!(lp.to_string().contains("axpy"));
+    }
+}

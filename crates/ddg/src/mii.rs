@@ -1,0 +1,180 @@
+//! Minimum initiation interval bounds.
+//!
+//! The initiation interval (II) of a modulo schedule is bounded below by
+//! * `ResMII` — the most heavily used resource class cannot issue more than
+//!   one operation per unit per cycle, and
+//! * `RecMII` — every recurrence circuit must fit its total latency within
+//!   `II · distance` cycles.
+//!
+//! `MII = max(ResMII, RecMII)` is the starting II of both the MIRS-C
+//! scheduler and the non-iterative baseline.
+
+use crate::graph::DepGraph;
+use crate::recurrence::has_positive_cycle_restricted;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use vliw::{LatencyModel, OpClass};
+
+/// The initiation-interval lower bounds of a loop on a machine with
+/// `gp_units` general-purpose units and `mem_ports` memory ports in total.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MiiBounds {
+    /// Resource-constrained minimum II.
+    pub res_mii: u32,
+    /// Recurrence-constrained minimum II.
+    pub rec_mii: u32,
+}
+
+impl MiiBounds {
+    /// `MII = max(ResMII, RecMII)`.
+    #[must_use]
+    pub fn mii(&self) -> u32 {
+        self.res_mii.max(self.rec_mii)
+    }
+}
+
+/// Resource-constrained minimum II.
+///
+/// Cluster assignment is not known at this point, so the bound uses the
+/// *total* number of units of each class across clusters, which is exactly
+/// the bound a unified machine would have (and therefore a valid lower bound
+/// for any clustering of the same resources). Inter-cluster move operations
+/// are not counted because none exist before scheduling.
+#[must_use]
+pub fn res_mii(g: &DepGraph, gp_units: u32, mem_ports: u32) -> u32 {
+    // Count occupancy, not just operation count: divides and square roots
+    // block their unit for several cycles.
+    let lat = LatencyModel::default();
+    let mut gp_cycles: u64 = 0;
+    let mut mem_cycles: u64 = 0;
+    for n in g.node_ids() {
+        let op = g.op(n).opcode;
+        match op.class() {
+            OpClass::Gp => gp_cycles += u64::from(lat.occupancy(op)),
+            OpClass::Mem => mem_cycles += 1,
+            OpClass::Move => {}
+        }
+    }
+    let gp_bound = div_ceil(gp_cycles, u64::from(gp_units.max(1)));
+    let mem_bound = div_ceil(mem_cycles, u64::from(mem_ports.max(1)));
+    u32::try_from(gp_bound.max(mem_bound).max(1)).unwrap_or(u32::MAX)
+}
+
+/// Recurrence-constrained minimum II: the smallest II at which the
+/// dependence-constraint graph has no positive cycle.
+#[must_use]
+pub fn rec_mii(g: &DepGraph, lat: &LatencyModel) -> u32 {
+    if g.is_empty() {
+        return 1;
+    }
+    let empty: HashSet<crate::NodeId> = HashSet::new();
+    let upper = g.latency_sum(lat).max(1);
+    let mut lo = 1u64;
+    let mut hi = upper;
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        if has_positive_cycle_restricted(g, &empty, lat, mid as i64) {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    u32::try_from(lo).unwrap_or(u32::MAX)
+}
+
+/// Both bounds at once.
+#[must_use]
+pub fn mii(g: &DepGraph, lat: &LatencyModel, gp_units: u32, mem_ports: u32) -> MiiBounds {
+    MiiBounds {
+        res_mii: res_mii(g, gp_units, mem_ports),
+        rec_mii: rec_mii(g, lat),
+    }
+}
+
+fn div_ceil(a: u64, b: u64) -> u64 {
+    a.div_ceil(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::LoopBuilder;
+    use vliw::Opcode;
+
+    #[test]
+    fn res_mii_counts_the_most_loaded_class() {
+        // 5 memory ops, 2 arithmetic ops on an 8-GP / 4-mem machine:
+        // ResMII = max(ceil(2/8), ceil(5/4)) = 2.
+        let mut b = LoopBuilder::new("t");
+        let x = b.load("x");
+        let y = b.load("y");
+        let s = b.op(Opcode::FpAdd, &[x, y]);
+        let t = b.op(Opcode::FpMul, &[s, s]);
+        b.store("z", t);
+        let w = b.load("w");
+        b.store("q", w);
+        let lp = b.finish(10);
+        assert_eq!(res_mii(&lp.graph, 8, 4), 2);
+        // On a 2-GP / 1-mem machine the 5 memory ops dominate: ResMII = 5.
+        assert_eq!(res_mii(&lp.graph, 2, 1), 5);
+    }
+
+    #[test]
+    fn res_mii_accounts_for_unpipelined_divides() {
+        let mut b = LoopBuilder::new("divs");
+        let x = b.load("x");
+        let y = b.load("y");
+        let _ = b.op(Opcode::FpDiv, &[x, y]);
+        let lp = b.finish(10);
+        // One divide blocks a unit for 17 cycles: with one GP unit, II >= 17.
+        assert_eq!(res_mii(&lp.graph, 1, 4), 17);
+        // With 8 GP units it still needs ceil(17/8) = 3.
+        assert_eq!(res_mii(&lp.graph, 8, 4), 3);
+    }
+
+    #[test]
+    fn rec_mii_of_recurrence_free_loop_is_one() {
+        let mut b = LoopBuilder::new("t");
+        let x = b.load("x");
+        let y = b.op(Opcode::FpAdd, &[x, x]);
+        b.store("y", y);
+        let lp = b.finish(10);
+        assert_eq!(rec_mii(&lp.graph, &LatencyModel::default()), 1);
+    }
+
+    #[test]
+    fn rec_mii_matches_circuit_latency_over_distance() {
+        let mut b = LoopBuilder::new("t");
+        let x = b.load("x");
+        let s = b.recurrence("s");
+        let m = b.op(Opcode::FpMul, &[s, x]);
+        let a = b.op(Opcode::FpAdd, &[m, x]);
+        b.close_recurrence(s, a, 1);
+        let lp = b.finish(10);
+        // mul(4) + add(4) over distance 1 = 8.
+        assert_eq!(rec_mii(&lp.graph, &LatencyModel::default()), 8);
+    }
+
+    #[test]
+    fn mii_is_max_of_both_bounds() {
+        let mut b = LoopBuilder::new("t");
+        let x = b.load("x");
+        let s = b.recurrence("s");
+        let a = b.op(Opcode::FpAdd, &[s, x]);
+        b.close_recurrence(s, a, 1);
+        let lp = b.finish(10);
+        let lat = LatencyModel::default();
+        let bounds = mii(&lp.graph, &lat, 8, 4);
+        assert_eq!(bounds.rec_mii, 4);
+        assert_eq!(bounds.res_mii, 1);
+        assert_eq!(bounds.mii(), 4);
+    }
+
+    #[test]
+    fn empty_graph_has_trivial_bounds() {
+        let g = DepGraph::new();
+        let lat = LatencyModel::default();
+        assert_eq!(res_mii(&g, 8, 4), 1);
+        assert_eq!(rec_mii(&g, &lat), 1);
+    }
+}

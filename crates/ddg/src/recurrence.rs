@@ -1,0 +1,336 @@
+//! Recurrence circuits (strongly connected components) of a dependence graph.
+//!
+//! Recurrences constrain the initiation interval (`RecMII`) and drive both
+//! the HRMS node ordering (recurrences are scheduled first) and selective
+//! binding prefetching (loads inside recurrences keep the hit latency).
+
+use crate::graph::DepGraph;
+use crate::ids::NodeId;
+use std::collections::HashMap;
+use vliw::LatencyModel;
+
+/// A strongly connected component with more than one node, or a single node
+/// with a self edge: a recurrence circuit of the loop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Recurrence {
+    /// Nodes participating in the recurrence.
+    pub nodes: Vec<NodeId>,
+    /// Lower bound on the II imposed by this recurrence:
+    /// `ceil(total latency / total distance)` over its critical circuit.
+    pub rec_mii: u32,
+}
+
+/// Compute all strongly connected components of the live nodes (Tarjan).
+///
+/// Components are returned in reverse topological order (callees of Tarjan's
+/// algorithm); singleton components without self edges are included, so the
+/// result partitions the node set.
+#[must_use]
+pub fn strongly_connected_components(g: &DepGraph) -> Vec<Vec<NodeId>> {
+    struct Tarjan<'a> {
+        g: &'a DepGraph,
+        index: HashMap<NodeId, u32>,
+        lowlink: HashMap<NodeId, u32>,
+        on_stack: HashMap<NodeId, bool>,
+        stack: Vec<NodeId>,
+        next_index: u32,
+        sccs: Vec<Vec<NodeId>>,
+    }
+
+    impl Tarjan<'_> {
+        fn strongconnect(&mut self, v: NodeId) {
+            // Iterative Tarjan to avoid deep recursion on long chains.
+            let mut call_stack: Vec<(NodeId, Vec<NodeId>, usize)> =
+                vec![(v, self.g.successors(v), 0)];
+            self.index.insert(v, self.next_index);
+            self.lowlink.insert(v, self.next_index);
+            self.next_index += 1;
+            self.stack.push(v);
+            self.on_stack.insert(v, true);
+
+            while let Some((node, succs, mut i)) = call_stack.pop() {
+                let mut descended = false;
+                while i < succs.len() {
+                    let w = succs[i];
+                    i += 1;
+                    if !self.index.contains_key(&w) {
+                        // Descend into w.
+                        self.index.insert(w, self.next_index);
+                        self.lowlink.insert(w, self.next_index);
+                        self.next_index += 1;
+                        self.stack.push(w);
+                        self.on_stack.insert(w, true);
+                        call_stack.push((node, succs, i));
+                        call_stack.push((w, self.g.successors(w), 0));
+                        descended = true;
+                        break;
+                    } else if self.on_stack.get(&w).copied().unwrap_or(false) {
+                        let wl = self.index[&w];
+                        let nl = self.lowlink[&node];
+                        self.lowlink.insert(node, nl.min(wl));
+                    }
+                }
+                if descended {
+                    continue;
+                }
+                // Finished node: pop SCC if root, propagate lowlink to parent.
+                if self.lowlink[&node] == self.index[&node] {
+                    let mut scc = Vec::new();
+                    loop {
+                        let w = self.stack.pop().expect("tarjan stack underflow");
+                        self.on_stack.insert(w, false);
+                        scc.push(w);
+                        if w == node {
+                            break;
+                        }
+                    }
+                    self.sccs.push(scc);
+                }
+                if let Some((parent, _, _)) = call_stack.last() {
+                    let nl = self.lowlink[&node];
+                    let pl = self.lowlink[parent];
+                    self.lowlink.insert(*parent, pl.min(nl));
+                }
+            }
+        }
+    }
+
+    let mut t = Tarjan {
+        g,
+        index: HashMap::new(),
+        lowlink: HashMap::new(),
+        on_stack: HashMap::new(),
+        stack: Vec::new(),
+        next_index: 0,
+        sccs: Vec::new(),
+    };
+    for n in g.node_ids() {
+        if !t.index.contains_key(&n) {
+            t.strongconnect(n);
+        }
+    }
+    t.sccs
+}
+
+/// Lower bound on the II imposed by the subgraph induced by `nodes`.
+///
+/// Computed as the smallest `ii` such that the constraint graph restricted
+/// to `nodes` (edge weight `latency − ii · distance`) has no positive cycle.
+#[must_use]
+pub fn rec_mii_of(g: &DepGraph, nodes: &[NodeId], lat: &LatencyModel) -> u32 {
+    if nodes.len() == 1 {
+        let n = nodes[0];
+        let has_self_edge = g.out_edges(n).iter().any(|&e| g.edge(e).to == n);
+        if !has_self_edge {
+            return 1;
+        }
+    }
+    let upper = g.latency_sum(lat).max(1);
+    let mut lo = 1u64;
+    let mut hi = upper;
+    let member: std::collections::HashSet<NodeId> = nodes.iter().copied().collect();
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        if has_positive_cycle_restricted(g, &member, lat, mid as i64) {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    u32::try_from(lo).unwrap_or(u32::MAX)
+}
+
+/// Whether the constraint graph (restricted to `member`, or the whole graph
+/// when `member` is empty) has a positive-weight cycle at initiation
+/// interval `ii` (edge weight `latency − ii · distance`).
+pub(crate) fn has_positive_cycle_restricted(
+    g: &DepGraph,
+    member: &std::collections::HashSet<NodeId>,
+    lat: &LatencyModel,
+    ii: i64,
+) -> bool {
+    let restrict = !member.is_empty();
+    let nodes: Vec<NodeId> = g
+        .node_ids()
+        .filter(|n| !restrict || member.contains(n))
+        .collect();
+    if nodes.is_empty() {
+        return false;
+    }
+    let idx: HashMap<NodeId, usize> = nodes.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+    // Longest-path Bellman-Ford from a virtual source connected to everything
+    // with weight 0: a positive cycle exists iff some distance still improves
+    // after |V| relaxation rounds.
+    let mut dist = vec![0i64; nodes.len()];
+    let edges: Vec<(usize, usize, i64)> = g
+        .edge_ids()
+        .filter_map(|e| {
+            let edge = g.edge(e);
+            let (Some(&f), Some(&t)) = (idx.get(&edge.from), idx.get(&edge.to)) else {
+                return None;
+            };
+            let w = g.edge_latency(e, lat) - ii * i64::from(edge.distance);
+            Some((f, t, w))
+        })
+        .collect();
+    for round in 0..=nodes.len() {
+        let mut changed = false;
+        for &(f, t, w) in &edges {
+            if dist[f] + w > dist[t] {
+                dist[t] = dist[f] + w;
+                changed = true;
+            }
+        }
+        if !changed {
+            return false;
+        }
+        if round == nodes.len() {
+            return true;
+        }
+    }
+    false
+}
+
+/// All recurrence circuits of the graph with their `RecMII` contribution,
+/// sorted by decreasing `rec_mii` (the order HRMS schedules them in).
+#[must_use]
+pub fn recurrences(g: &DepGraph, lat: &LatencyModel) -> Vec<Recurrence> {
+    let mut recs: Vec<Recurrence> = strongly_connected_components(g)
+        .into_iter()
+        .filter(|scc| {
+            scc.len() > 1
+                || g.out_edges(scc[0]).iter().any(|&e| g.edge(e).to == scc[0])
+        })
+        .map(|nodes| {
+            let rec_mii = rec_mii_of(g, &nodes, lat);
+            Recurrence { nodes, rec_mii }
+        })
+        .collect();
+    recs.sort_by(|a, b| b.rec_mii.cmp(&a.rec_mii).then(a.nodes.len().cmp(&b.nodes.len())));
+    recs
+}
+
+/// Nodes that belong to some recurrence circuit.
+#[must_use]
+pub fn nodes_in_recurrences(g: &DepGraph, lat: &LatencyModel) -> std::collections::HashSet<NodeId> {
+    recurrences(g, lat)
+        .into_iter()
+        .flat_map(|r| r.nodes)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::LoopBuilder;
+    use vliw::Opcode;
+
+    fn accumulation_loop() -> crate::Loop {
+        // s = s + x[i]
+        let mut b = LoopBuilder::new("sum");
+        let x = b.load("x");
+        let s = b.recurrence("s");
+        let add = b.op(Opcode::FpAdd, &[s, x]);
+        b.close_recurrence(s, add, 1);
+        b.finish(100)
+    }
+
+    #[test]
+    fn sccs_partition_the_nodes() {
+        let lp = accumulation_loop();
+        let sccs = strongly_connected_components(&lp.graph);
+        let total: usize = sccs.iter().map(Vec::len).sum();
+        assert_eq!(total, lp.graph.node_count());
+    }
+
+    #[test]
+    fn accumulation_has_one_single_node_recurrence() {
+        let lp = accumulation_loop();
+        let lat = LatencyModel::default();
+        let recs = recurrences(&lp.graph, &lat);
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].nodes.len(), 1);
+        // Latency 4 / distance 1.
+        assert_eq!(recs[0].rec_mii, 4);
+    }
+
+    #[test]
+    fn two_node_recurrence_rec_mii() {
+        // t = a * s;  s = t + x   with s carried across one iteration:
+        // circuit latency = 4 + 4 = 8, distance 1 -> RecMII = 8.
+        let mut b = LoopBuilder::new("two");
+        let a = b.invariant("a");
+        let x = b.load("x");
+        let s = b.recurrence("s");
+        let t = b.op(Opcode::FpMul, &[a, s]);
+        let s_next = b.op(Opcode::FpAdd, &[t, x]);
+        b.close_recurrence(s, s_next, 1);
+        let lp = b.finish(10);
+        let lat = LatencyModel::default();
+        let recs = recurrences(&lp.graph, &lat);
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].nodes.len(), 2);
+        assert_eq!(recs[0].rec_mii, 8);
+    }
+
+    #[test]
+    fn distance_two_halves_the_rec_mii() {
+        let mut b = LoopBuilder::new("d2");
+        let x = b.load("x");
+        let s = b.recurrence("s");
+        let add = b.op(Opcode::FpAdd, &[s, x]);
+        b.close_recurrence(s, add, 2);
+        let lp = b.finish(10);
+        let lat = LatencyModel::default();
+        let recs = recurrences(&lp.graph, &lat);
+        assert_eq!(recs[0].rec_mii, 2); // ceil(4 / 2)
+    }
+
+    #[test]
+    fn loop_without_recurrences_has_none() {
+        let mut b = LoopBuilder::new("vecadd");
+        let x = b.load("x");
+        let y = b.load("y");
+        let s = b.op(Opcode::FpAdd, &[x, y]);
+        b.store("z", s);
+        let lp = b.finish(10);
+        let lat = LatencyModel::default();
+        assert!(recurrences(&lp.graph, &lat).is_empty());
+        assert!(nodes_in_recurrences(&lp.graph, &lat).is_empty());
+    }
+
+    #[test]
+    fn recurrence_membership() {
+        let lp = accumulation_loop();
+        let lat = LatencyModel::default();
+        let members = nodes_in_recurrences(&lp.graph, &lat);
+        assert_eq!(members.len(), 1);
+        // The load is not in a recurrence.
+        let load_node = lp
+            .graph
+            .node_ids()
+            .find(|&n| lp.graph.op(n).opcode == Opcode::Load)
+            .unwrap();
+        assert!(!members.contains(&load_node));
+    }
+
+    #[test]
+    fn recurrences_sorted_by_rec_mii_descending() {
+        let mut b = LoopBuilder::new("multi");
+        let x = b.load("x");
+        // Fast recurrence: s1 += x (RecMII 4).
+        let s1 = b.recurrence("s1");
+        let a1 = b.op(Opcode::FpAdd, &[s1, x]);
+        b.close_recurrence(s1, a1, 1);
+        // Slow recurrence: s2 = s2 / x (RecMII 17).
+        let s2 = b.recurrence("s2");
+        let d = b.op(Opcode::FpDiv, &[s2, x]);
+        b.close_recurrence(s2, d, 1);
+        let lp = b.finish(10);
+        let lat = LatencyModel::default();
+        let recs = recurrences(&lp.graph, &lat);
+        assert_eq!(recs.len(), 2);
+        assert!(recs[0].rec_mii >= recs[1].rec_mii);
+        assert_eq!(recs[0].rec_mii, 17);
+    }
+}

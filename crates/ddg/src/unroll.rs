@@ -1,0 +1,261 @@
+//! Loop unrolling.
+//!
+//! The paper applies unrolling to small loops "in order to saturate the
+//! functional units": a loop body with only a handful of operations cannot
+//! keep an 8-issue core busy even at II = 1, so the workbench replicates the
+//! body before scheduling. Unrolling by `U` replicates every operation `U`
+//! times, renames values per copy, redirects loop-carried dependences to the
+//! appropriate copy and divides the trip count by `U`.
+
+use crate::graph::{DepEdge, DepGraph, OperationData};
+use crate::ids::{NodeId, ValueId};
+use crate::loop_ir::Loop;
+use std::collections::HashMap;
+
+/// Unroll `lp` by `factor`.
+///
+/// A dependence `u → v` with iteration distance `d` becomes, for every copy
+/// `j` of the consumer, an edge from copy `(j − d) mod U` of the producer
+/// with distance `⌈(d − j) / U⌉` (0 when the producer copy is in the same
+/// unrolled iteration). Memory access patterns are rewritten so copy `j`
+/// touches the addresses the original iteration `i·U + j` would have
+/// touched.
+///
+/// # Panics
+///
+/// Panics if `factor == 0`.
+#[must_use]
+pub fn unroll(lp: &Loop, factor: u32) -> Loop {
+    assert!(factor > 0, "unroll factor must be positive");
+    if factor == 1 {
+        return lp.clone();
+    }
+    let u = factor;
+    let g = &lp.graph;
+    let mut out = DepGraph::new();
+
+    // Invariants are shared between copies; variant values get one clone per copy.
+    let mut value_map: HashMap<(ValueId, u32), ValueId> = HashMap::new();
+    for v in g.value_ids() {
+        let data = g.value(v);
+        if data.invariant {
+            let nv = out.add_value(data.name.clone(), true);
+            for j in 0..u {
+                value_map.insert((v, j), nv);
+            }
+        } else {
+            for j in 0..u {
+                let nv = out.add_value(format!("{}.u{j}", data.name), false);
+                value_map.insert((v, j), nv);
+            }
+        }
+    }
+
+    // Consumption distance of each (consumer node, value) pair, taken from
+    // the flow edge that carries the value (0 if none, e.g. invariants).
+    let mut consume_distance: HashMap<(NodeId, ValueId), u32> = HashMap::new();
+    for e in g.edge_ids() {
+        let edge = g.edge(e);
+        if let Some(val) = edge.value {
+            let entry = consume_distance.entry((edge.to, val)).or_insert(edge.distance);
+            *entry = (*entry).min(edge.distance);
+        }
+    }
+
+    // Clone nodes.
+    let mut node_map: HashMap<(NodeId, u32), NodeId> = HashMap::new();
+    for n in g.node_ids() {
+        let op = g.op(n);
+        for j in 0..u {
+            let dest = op.dest.map(|d| value_map[&(d, j)]);
+            let srcs = op
+                .srcs
+                .iter()
+                .map(|&s| {
+                    if g.value(s).invariant {
+                        value_map[&(s, 0)]
+                    } else {
+                        let d = consume_distance.get(&(n, s)).copied().unwrap_or(0);
+                        let src_copy = (i64::from(j) - i64::from(d)).rem_euclid(i64::from(u)) as u32;
+                        value_map[&(s, src_copy)]
+                    }
+                })
+                .collect();
+            let mem = op.mem.map(|m| crate::loop_ir::MemAccess {
+                array: m.array,
+                offset: m.offset + m.stride * i64::from(j),
+                stride: m.stride * i64::from(u),
+            });
+            let data = OperationData {
+                opcode: op.opcode,
+                dest,
+                srcs,
+                mem,
+                mem_latency: op.mem_latency,
+                origin: op.origin,
+                name: format!("{}.u{j}", op.name),
+            };
+            let nn = out.add_node(data);
+            node_map.insert((n, j), nn);
+        }
+    }
+
+    // Clone edges.
+    for e in g.edge_ids() {
+        let edge = g.edge(e);
+        for j in 0..u {
+            let src_iter = i64::from(j) - i64::from(edge.distance);
+            let src_copy = src_iter.rem_euclid(i64::from(u)) as u32;
+            let new_distance = u32::try_from(-src_iter.div_euclid(i64::from(u))).unwrap_or(0);
+            out.add_edge(DepEdge {
+                from: node_map[&(edge.from, src_copy)],
+                to: node_map[&(edge.to, j)],
+                kind: edge.kind,
+                distance: new_distance,
+                delay_override: edge.delay_override,
+                value: edge.value.map(|v| value_map[&(v, src_copy)]),
+            });
+        }
+    }
+
+    let mut result = Loop::new(format!("{}.x{u}", lp.name), out, lp.trip_count / u64::from(u));
+    result.weight = lp.weight;
+    result
+}
+
+/// Unroll factor needed for a loop body to have at least `target_ops`
+/// operations (capped at `max_factor`). The workbench uses this to saturate
+/// wide cores with small loops, as the paper does.
+#[must_use]
+pub fn saturation_factor(body_size: usize, target_ops: usize, max_factor: u32) -> u32 {
+    if body_size == 0 {
+        return 1;
+    }
+    let needed = target_ops.div_ceil(body_size);
+    u32::try_from(needed).unwrap_or(max_factor).clamp(1, max_factor)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::LoopBuilder;
+    use crate::graph::DepKind;
+    use vliw::{LatencyModel, Opcode};
+
+    fn daxpy() -> Loop {
+        let mut b = LoopBuilder::new("daxpy");
+        let a = b.invariant("a");
+        let x = b.load("x");
+        let y = b.load("y");
+        let m = b.op(Opcode::FpMul, &[a, x]);
+        let s = b.op(Opcode::FpAdd, &[m, y]);
+        b.store("y", s);
+        b.finish(128)
+    }
+
+    fn accumulation() -> Loop {
+        let mut b = LoopBuilder::new("sum");
+        let x = b.load("x");
+        let s = b.recurrence("s");
+        let add = b.op(Opcode::FpAdd, &[s, x]);
+        b.close_recurrence(s, add, 1);
+        b.finish(128)
+    }
+
+    #[test]
+    fn unroll_replicates_nodes_and_edges() {
+        let lp = daxpy();
+        let u4 = unroll(&lp, 4);
+        assert_eq!(u4.body_size(), lp.body_size() * 4);
+        assert_eq!(u4.graph.edge_count(), lp.graph.edge_count() * 4);
+        assert_eq!(u4.trip_count, lp.trip_count / 4);
+        assert!(u4.name.ends_with(".x4"));
+    }
+
+    #[test]
+    fn unroll_by_one_is_identity() {
+        let lp = daxpy();
+        let u1 = unroll(&lp, 1);
+        assert_eq!(u1.body_size(), lp.body_size());
+        assert_eq!(u1.trip_count, lp.trip_count);
+    }
+
+    #[test]
+    fn invariants_are_shared_between_copies() {
+        let lp = daxpy();
+        let u2 = unroll(&lp, 2);
+        let invariants = u2
+            .graph
+            .value_ids()
+            .filter(|&v| u2.graph.value(v).invariant)
+            .count();
+        assert_eq!(invariants, 1);
+    }
+
+    #[test]
+    fn carried_dependence_connects_copies() {
+        let lp = accumulation();
+        let u2 = unroll(&lp, 2);
+        // The recurrence s += x becomes add0 -> add1 (distance 0) and
+        // add1 -> add0 (distance 1).
+        let carried: Vec<_> = u2
+            .graph
+            .edge_ids()
+            .map(|e| *u2.graph.edge(e))
+            .filter(|e| e.kind == DepKind::RegFlow && e.from != e.to)
+            .filter(|e| {
+                u2.graph.op(e.from).opcode == Opcode::FpAdd
+                    && u2.graph.op(e.to).opcode == Opcode::FpAdd
+            })
+            .collect();
+        assert_eq!(carried.len(), 2);
+        assert_eq!(carried.iter().filter(|e| e.distance == 0).count(), 1);
+        assert_eq!(carried.iter().filter(|e| e.distance == 1).count(), 1);
+    }
+
+    #[test]
+    fn unrolling_preserves_rec_mii_per_unrolled_iteration() {
+        // RecMII of the unrolled accumulation doubles (two adds per copy of
+        // the recurrence circuit), matching the semantics of executing two
+        // original iterations per unrolled iteration.
+        let lp = accumulation();
+        let lat = LatencyModel::default();
+        let base = crate::mii::rec_mii(&lp.graph, &lat);
+        let u2 = unroll(&lp, 2);
+        let unrolled = crate::mii::rec_mii(&u2.graph, &lat);
+        assert_eq!(base, 4);
+        assert_eq!(unrolled, 8);
+    }
+
+    #[test]
+    fn memory_patterns_are_interleaved() {
+        let lp = daxpy();
+        let u2 = unroll(&lp, 2);
+        let loads: Vec<_> = u2
+            .graph
+            .node_ids()
+            .filter(|&n| u2.graph.op(n).opcode == Opcode::Load)
+            .map(|n| u2.graph.op(n).mem.unwrap())
+            .collect();
+        assert_eq!(loads.len(), 4);
+        // Each copy advances by 16 bytes per unrolled iteration; the second
+        // copy starts 8 bytes in.
+        assert!(loads.iter().all(|m| m.stride == 16));
+        assert!(loads.iter().any(|m| m.offset == 0));
+        assert!(loads.iter().any(|m| m.offset == 8));
+    }
+
+    #[test]
+    fn saturation_factor_targets_body_size() {
+        assert_eq!(saturation_factor(3, 12, 16), 4);
+        assert_eq!(saturation_factor(12, 12, 16), 1);
+        assert_eq!(saturation_factor(5, 12, 2), 2); // capped
+        assert_eq!(saturation_factor(0, 12, 16), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_factor_panics() {
+        let _ = unroll(&daxpy(), 0);
+    }
+}

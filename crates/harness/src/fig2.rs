@@ -1,0 +1,97 @@
+//! Figure 2: cycle time, area and power of unified vs. clustered register
+//! files (8 GP units + 4 memory ports, 16–128 registers per cluster).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use vliw::{HwModel, MachineConfig};
+
+/// One bar of Figure 2.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig2Row {
+    /// Configuration name `k-(GPxMy-REGz)`.
+    pub config: String,
+    /// Clusters.
+    pub clusters: u32,
+    /// Registers per cluster.
+    pub registers: u32,
+    /// Cycle time in picoseconds.
+    pub cycle_time_ps: f64,
+    /// Normalized area.
+    pub area: f64,
+    /// Normalized power.
+    pub power: f64,
+}
+
+/// The full figure: one row per (k, z) pair.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig2 {
+    /// Rows in (k, z) order.
+    pub rows: Vec<Fig2Row>,
+}
+
+/// Compute the figure with the given hardware model.
+#[must_use]
+pub fn run(hw: &HwModel) -> Fig2 {
+    let mut rows = Vec::new();
+    for &k in &[1u32, 2, 4] {
+        for &z in &[16u32, 32, 64, 128] {
+            let mc = MachineConfig::paper_config(k, z).expect("valid paper config");
+            let est = hw.estimate(&mc);
+            rows.push(Fig2Row {
+                config: mc.name(),
+                clusters: k,
+                registers: z,
+                cycle_time_ps: est.cycle_time_ps,
+                area: est.area,
+                power: est.power,
+            });
+        }
+    }
+    Fig2 { rows }
+}
+
+impl fmt::Display for Fig2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Figure 2: register-file cycle time / area / power")?;
+        writeln!(f, "{:<20} {:>12} {:>12} {:>12}", "config", "cycle[ps]", "area", "power")?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:<20} {:>12.1} {:>12.0} {:>12.0}",
+                r.config, r.cycle_time_ps, r.area, r.power
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_has_all_twelve_points() {
+        let fig = run(&HwModel::default());
+        assert_eq!(fig.rows.len(), 12);
+        assert!(fig.to_string().contains("Figure 2"));
+    }
+
+    #[test]
+    fn clustering_wins_on_every_metric_at_equal_total_registers() {
+        let fig = run(&HwModel::default());
+        let get = |k: u32, z: u32| {
+            fig.rows
+                .iter()
+                .find(|r| r.clusters == k && r.registers == z)
+                .unwrap()
+                .clone()
+        };
+        let unified = get(1, 64);
+        let two = get(2, 32);
+        let four = get(4, 16);
+        assert!(two.cycle_time_ps < unified.cycle_time_ps);
+        assert!(four.cycle_time_ps < two.cycle_time_ps);
+        assert!(four.area < unified.area);
+        assert!(four.power < unified.power);
+    }
+}

@@ -1,0 +1,33 @@
+//! Experiment drivers reproducing every table and figure of the MIRS-C
+//! paper's evaluation (Section 4).
+//!
+//! Each experiment module runs the workbench (crate `loopgen`) through the
+//! MIRS-C scheduler (crate `mirs`) and, where the paper compares against the
+//! non-iterative scheduler of reference [31], through the baseline
+//! scheduler (crate `baseline`). The modules return plain data structures
+//! and implement [`std::fmt::Display`] so the bench harness, the examples
+//! and the command-line runners can print tables shaped like the paper's.
+//!
+//! | Paper artefact | Module |
+//! |---|---|
+//! | Figure 2 (cycle time / area / power)            | [`fig2`] |
+//! | Table 1 (unbounded registers, [31] vs MIRS-C)   | [`table1`] |
+//! | Table 2 (64 registers total, [31] vs MIRS-C)    | [`table2`] |
+//! | Table 3 (scheduling time)                       | [`table3`] |
+//! | Figure 5 (ideal memory design-space sweep)      | [`fig5`] |
+//! | Figure 6 (scalability with clusters and buses)  | [`fig6`] |
+//! | Figure 7 (real memory and binding prefetching)  | [`fig7`] |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fig2;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod runner;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+
+pub use runner::{run_workbench, LoopOutcome, SchedulerKind, WorkbenchSummary};

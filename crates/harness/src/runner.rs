@@ -1,0 +1,241 @@
+//! Shared machinery: run a workbench through a scheduler and aggregate the
+//! per-loop metrics the paper reports.
+
+use baseline::{BaselineOptions, BaselineScheduler};
+use ddg::Loop;
+use loopgen::Workbench;
+use mirs::{MirsScheduler, PrefetchPolicy, ScheduleResult, SchedulerOptions};
+use serde::{Deserialize, Serialize};
+use vliw::MachineConfig;
+
+/// Which scheduler to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SchedulerKind {
+    /// MIRS-C: iterative, with integrated spilling and cluster assignment.
+    MirsC,
+    /// Non-iterative baseline in the style of reference [31].
+    Baseline,
+}
+
+impl SchedulerKind {
+    /// Short label used in table headers.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            SchedulerKind::MirsC => "MIRS-C",
+            SchedulerKind::Baseline => "[31]",
+        }
+    }
+}
+
+/// Result of scheduling one loop of the workbench.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LoopOutcome {
+    /// Loop name.
+    pub name: String,
+    /// Workbench weight of the loop.
+    pub weight: f64,
+    /// Trip count used for cycle accounting.
+    pub trip_count: u64,
+    /// Achieved II (`None` when the scheduler did not converge).
+    pub ii: Option<u32>,
+    /// Minimum II bound of the loop.
+    pub mii: u32,
+    /// Memory operations per iteration, including spill code.
+    pub memory_traffic: u32,
+    /// Inter-cluster moves per iteration.
+    pub moves: u32,
+    /// Wall-clock scheduling time in seconds.
+    pub scheduling_seconds: f64,
+    /// Full schedule (kept for downstream memory simulation); `None` when
+    /// the scheduler did not converge.
+    #[serde(skip)]
+    pub result: Option<ScheduleResult>,
+}
+
+impl LoopOutcome {
+    /// Whether the scheduler converged on this loop.
+    #[must_use]
+    pub fn converged(&self) -> bool {
+        self.ii.is_some()
+    }
+
+    /// Execution cycles under the ideal-memory model (`II × trip + span`).
+    #[must_use]
+    pub fn execution_cycles(&self) -> u64 {
+        self.result
+            .as_ref()
+            .map(|r| r.execution_cycles(self.trip_count))
+            .unwrap_or(0)
+    }
+}
+
+/// Aggregated metrics over a whole workbench run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WorkbenchSummary {
+    /// Name of the machine configuration.
+    pub config: String,
+    /// Scheduler that produced the run.
+    pub scheduler: SchedulerKind,
+    /// Per-loop outcomes, in workbench order.
+    pub outcomes: Vec<LoopOutcome>,
+}
+
+impl WorkbenchSummary {
+    /// Number of loops that did not converge.
+    #[must_use]
+    pub fn not_converged(&self) -> usize {
+        self.outcomes.iter().filter(|o| !o.converged()).count()
+    }
+
+    /// Sum of IIs over the loops selected by `filter` (the paper's ΣII).
+    pub fn sum_ii(&self, mut filter: impl FnMut(&LoopOutcome) -> bool) -> u64 {
+        self.outcomes
+            .iter()
+            .filter(|o| filter(o))
+            .filter_map(|o| o.ii.map(u64::from))
+            .sum()
+    }
+
+    /// Sum of memory traffic over the loops selected by `filter` (Σtrf).
+    pub fn sum_traffic(&self, mut filter: impl FnMut(&LoopOutcome) -> bool) -> u64 {
+        self.outcomes
+            .iter()
+            .filter(|o| filter(o))
+            .map(|o| u64::from(o.memory_traffic))
+            .sum()
+    }
+
+    /// Weighted execution cycles over the whole workbench (ideal memory).
+    #[must_use]
+    pub fn weighted_execution_cycles(&self) -> f64 {
+        self.outcomes
+            .iter()
+            .map(|o| o.weight * o.execution_cycles() as f64)
+            .sum()
+    }
+
+    /// Weighted memory traffic (accesses per iteration × trip count).
+    #[must_use]
+    pub fn weighted_memory_traffic(&self) -> f64 {
+        self.outcomes
+            .iter()
+            .map(|o| o.weight * f64::from(o.memory_traffic) * o.trip_count as f64)
+            .sum()
+    }
+
+    /// Total scheduling time in seconds.
+    #[must_use]
+    pub fn total_scheduling_seconds(&self) -> f64 {
+        self.outcomes.iter().map(|o| o.scheduling_seconds).sum()
+    }
+}
+
+/// Schedule one loop with the chosen scheduler.
+#[must_use]
+pub fn schedule_loop(
+    lp: &Loop,
+    machine: &MachineConfig,
+    kind: SchedulerKind,
+    prefetch: PrefetchPolicy,
+) -> LoopOutcome {
+    let lat = machine.latencies();
+    let bounds = ddg::mii::mii(&lp.graph, lat, machine.total_gp_units(), machine.total_mem_ports());
+    let started = std::time::Instant::now();
+    let result = match kind {
+        SchedulerKind::MirsC => {
+            let opts = SchedulerOptions::default().with_prefetch(prefetch);
+            MirsScheduler::new(machine, opts).schedule(lp).ok()
+        }
+        SchedulerKind::Baseline => {
+            let opts = BaselineOptions {
+                prefetch,
+                ..BaselineOptions::default()
+            };
+            BaselineScheduler::with_options(machine, opts).schedule(lp).ok()
+        }
+    };
+    let scheduling_seconds = started.elapsed().as_secs_f64();
+    LoopOutcome {
+        name: lp.name.clone(),
+        weight: lp.weight,
+        trip_count: lp.trip_count,
+        ii: result.as_ref().map(|r| r.ii),
+        mii: bounds.mii(),
+        memory_traffic: result.as_ref().map(|r| r.memory_traffic).unwrap_or(0),
+        moves: result.as_ref().map(|r| r.moves).unwrap_or(0),
+        scheduling_seconds,
+        result,
+    }
+}
+
+/// Run every loop of the workbench through the chosen scheduler.
+#[must_use]
+pub fn run_workbench(
+    wb: &Workbench,
+    machine: &MachineConfig,
+    kind: SchedulerKind,
+    prefetch: PrefetchPolicy,
+) -> WorkbenchSummary {
+    let outcomes = wb
+        .loops()
+        .iter()
+        .map(|lp| schedule_loop(lp, machine, kind, prefetch))
+        .collect();
+    WorkbenchSummary {
+        config: machine.name(),
+        scheduler: kind,
+        outcomes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loopgen::WorkbenchParams;
+
+    fn small_wb() -> Workbench {
+        Workbench::generate(&WorkbenchParams {
+            loops: 6,
+            ..WorkbenchParams::default()
+        })
+    }
+
+    #[test]
+    fn run_workbench_covers_every_loop() {
+        let wb = small_wb();
+        let machine = MachineConfig::paper_config(2, 64).unwrap();
+        let s = run_workbench(&wb, &machine, SchedulerKind::MirsC, PrefetchPolicy::HitLatency);
+        assert_eq!(s.outcomes.len(), wb.loops().len());
+        assert_eq!(s.not_converged(), 0, "MIRS-C converges on the workbench");
+        assert!(s.weighted_execution_cycles() > 0.0);
+        assert!(s.sum_ii(|_| true) > 0);
+    }
+
+    #[test]
+    fn mirs_ii_is_never_worse_than_baseline_with_unbounded_registers() {
+        let wb = small_wb();
+        let machine = MachineConfig::paper_config_unbounded(2).unwrap();
+        let m = run_workbench(&wb, &machine, SchedulerKind::MirsC, PrefetchPolicy::HitLatency);
+        let b = run_workbench(&wb, &machine, SchedulerKind::Baseline, PrefetchPolicy::HitLatency);
+        for (mo, bo) in m.outcomes.iter().zip(&b.outcomes) {
+            if let (Some(mi), Some(bi)) = (mo.ii, bo.ii) {
+                assert!(mi <= bi, "{}: MIRS-C II {mi} vs baseline {bi}", mo.name);
+            }
+        }
+    }
+
+    #[test]
+    fn outcome_helpers_are_consistent() {
+        let wb = small_wb();
+        let machine = MachineConfig::paper_config(1, 64).unwrap();
+        let s = run_workbench(&wb, &machine, SchedulerKind::MirsC, PrefetchPolicy::HitLatency);
+        for o in &s.outcomes {
+            assert!(o.converged());
+            assert!(o.ii.unwrap() >= 1);
+            assert!(o.execution_cycles() >= u64::from(o.ii.unwrap()) * o.trip_count);
+        }
+        assert_eq!(SchedulerKind::MirsC.label(), "MIRS-C");
+        assert_eq!(SchedulerKind::Baseline.label(), "[31]");
+    }
+}

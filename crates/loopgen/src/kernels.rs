@@ -1,0 +1,353 @@
+//! Hand-written numerical kernels.
+//!
+//! These loops cover the structural variety found in the Perfect Club /
+//! Livermore style numerical codes: streaming element-wise loops,
+//! reductions, first- and second-order recurrences, stencils, loops with
+//! long-latency divides and square roots, and gather-style indirection.
+
+use ddg::{Loop, LoopBuilder, MemAccess};
+use vliw::Opcode;
+
+/// `y[i] = a * x[i] + y[i]` — the canonical streaming kernel.
+#[must_use]
+pub fn daxpy(trip: u64) -> Loop {
+    let mut b = LoopBuilder::new("daxpy");
+    let a = b.invariant("a");
+    let x = b.load("x");
+    let y = b.load("y");
+    let ax = b.op(Opcode::FpMul, &[a, x]);
+    let s = b.op(Opcode::FpAdd, &[ax, y]);
+    b.store("y", s);
+    b.finish(trip)
+}
+
+/// `s += x[i] * y[i]` — inner product (reduction recurrence).
+#[must_use]
+pub fn dot_product(trip: u64) -> Loop {
+    let mut b = LoopBuilder::new("dot_product");
+    let x = b.load("x");
+    let y = b.load("y");
+    let p = b.op(Opcode::FpMul, &[x, y]);
+    let s = b.recurrence("s");
+    let acc = b.op(Opcode::FpAdd, &[s, p]);
+    b.close_recurrence(s, acc, 1);
+    b.finish(trip)
+}
+
+/// `z[i] = x[i] + y[i]` — pure streaming, memory bound.
+#[must_use]
+pub fn vector_add(trip: u64) -> Loop {
+    let mut b = LoopBuilder::new("vector_add");
+    let x = b.load("x");
+    let y = b.load("y");
+    let s = b.op(Opcode::FpAdd, &[x, y]);
+    b.store("z", s);
+    b.finish(trip)
+}
+
+/// 3-point stencil `y[i] = c0·x[i−1] + c1·x[i] + c2·x[i+1]`.
+#[must_use]
+pub fn stencil3(trip: u64) -> Loop {
+    let mut b = LoopBuilder::new("stencil3");
+    let c0 = b.invariant("c0");
+    let c1 = b.invariant("c1");
+    let c2 = b.invariant("c2");
+    let sym = b.array("x");
+    let xm = b.load_with("x", MemAccess { array: sym, offset: -8, stride: 8 });
+    let x0 = b.load_with("x", MemAccess { array: sym, offset: 0, stride: 8 });
+    let xp = b.load_with("x", MemAccess { array: sym, offset: 8, stride: 8 });
+    let t0 = b.op(Opcode::FpMul, &[c0, xm]);
+    let t1 = b.op(Opcode::FpMul, &[c1, x0]);
+    let t2 = b.op(Opcode::FpMul, &[c2, xp]);
+    let s0 = b.op(Opcode::FpAdd, &[t0, t1]);
+    let s1 = b.op(Opcode::FpAdd, &[s0, t2]);
+    b.store("y", s1);
+    b.finish(trip)
+}
+
+/// 5-point stencil over two rows (higher register pressure, two streams).
+#[must_use]
+pub fn stencil5(trip: u64) -> Loop {
+    let mut b = LoopBuilder::new("stencil5");
+    let c = b.invariant("c");
+    let sym = b.array("x");
+    let row = b.array("r");
+    let x0 = b.load_with("x", MemAccess { array: sym, offset: -16, stride: 8 });
+    let x1 = b.load_with("x", MemAccess { array: sym, offset: -8, stride: 8 });
+    let x2 = b.load_with("x", MemAccess { array: sym, offset: 0, stride: 8 });
+    let x3 = b.load_with("x", MemAccess { array: sym, offset: 8, stride: 8 });
+    let x4 = b.load_with("x", MemAccess { array: row, offset: 0, stride: 8 });
+    let a0 = b.op(Opcode::FpAdd, &[x0, x1]);
+    let a1 = b.op(Opcode::FpAdd, &[x2, x3]);
+    let a2 = b.op(Opcode::FpAdd, &[a0, a1]);
+    let a3 = b.op(Opcode::FpAdd, &[a2, x4]);
+    let r = b.op(Opcode::FpMul, &[c, a3]);
+    b.store("y", r);
+    b.finish(trip)
+}
+
+/// First-order linear recurrence `x[i] = a·x[i−1] + b[i]` (Livermore loop 11
+/// style): RecMII bound by multiply + add latency.
+#[must_use]
+pub fn first_order_recurrence(trip: u64) -> Loop {
+    let mut b = LoopBuilder::new("first_order_recurrence");
+    let a = b.invariant("a");
+    let bi = b.load("b");
+    let x = b.recurrence("x");
+    let ax = b.op(Opcode::FpMul, &[a, x]);
+    let xn = b.op(Opcode::FpAdd, &[ax, bi]);
+    b.close_recurrence(x, xn, 1);
+    b.store("x_out", xn);
+    b.finish(trip)
+}
+
+/// Second-order recurrence `x[i] = a·x[i−1] + b·x[i−2] + c[i]` (tridiagonal
+/// elimination style): two carried dependences with distances 1 and 2.
+#[must_use]
+pub fn second_order_recurrence(trip: u64) -> Loop {
+    let mut b = LoopBuilder::new("second_order_recurrence");
+    let a = b.invariant("a");
+    let bc = b.invariant("b");
+    let ci = b.load("c");
+    let x1 = b.recurrence("x1"); // x[i-1]
+    let x2 = b.recurrence("x2"); // x[i-2]
+    let t1 = b.op(Opcode::FpMul, &[a, x1]);
+    let t2 = b.op(Opcode::FpMul, &[bc, x2]);
+    let s = b.op(Opcode::FpAdd, &[t1, t2]);
+    let xn = b.op(Opcode::FpAdd, &[s, ci]);
+    b.close_recurrence(x1, xn, 1);
+    b.close_recurrence(x2, xn, 2);
+    b.store("x_out", xn);
+    b.finish(trip)
+}
+
+/// Normalisation loop `y[i] = x[i] / sqrt(s[i])` — long-latency operations.
+#[must_use]
+pub fn normalize(trip: u64) -> Loop {
+    let mut b = LoopBuilder::new("normalize");
+    let x = b.load("x");
+    let s = b.load("s");
+    let r = b.op(Opcode::FpSqrt, &[s]);
+    let d = b.op(Opcode::FpDiv, &[x, r]);
+    b.store("y", d);
+    b.finish(trip)
+}
+
+/// Newton–Raphson style iteration with a divide inside a recurrence:
+/// `r = r·(2 − d[i]·r)` plus a divide on an independent stream.
+#[must_use]
+pub fn newton_step(trip: u64) -> Loop {
+    let mut b = LoopBuilder::new("newton_step");
+    let two = b.invariant("two");
+    let d = b.load("d");
+    let r = b.recurrence("r");
+    let dr = b.op(Opcode::FpMul, &[d, r]);
+    let e = b.op(Opcode::FpAdd, &[two, dr]);
+    let rn = b.op(Opcode::FpMul, &[r, e]);
+    b.close_recurrence(r, rn, 1);
+    let q = b.op(Opcode::FpDiv, &[d, rn]);
+    b.store("q", q);
+    b.finish(trip)
+}
+
+/// Complex multiply-accumulate over interleaved arrays (FFT butterfly
+/// flavour): wide, many parallel lifetimes.
+#[must_use]
+pub fn complex_mac(trip: u64) -> Loop {
+    let mut b = LoopBuilder::new("complex_mac");
+    let ar = b.load("ar");
+    let ai = b.load("ai");
+    let br = b.load("br");
+    let bi = b.load("bi");
+    let rr1 = b.op(Opcode::FpMul, &[ar, br]);
+    let rr2 = b.op(Opcode::FpMul, &[ai, bi]);
+    let ri1 = b.op(Opcode::FpMul, &[ar, bi]);
+    let ri2 = b.op(Opcode::FpMul, &[ai, br]);
+    let re = b.op(Opcode::FpAdd, &[rr1, rr2]);
+    let im = b.op(Opcode::FpAdd, &[ri1, ri2]);
+    b.store("cr", re);
+    b.store("ci", im);
+    b.finish(trip)
+}
+
+/// Matrix–vector inner loop with an accumulator and a strided matrix access.
+#[must_use]
+pub fn matvec_row(trip: u64) -> Loop {
+    let mut b = LoopBuilder::new("matvec_row");
+    let sym = b.array("mat");
+    let m = b.load_with("mat", MemAccess { array: sym, offset: 0, stride: 512 });
+    let v = b.load("vec");
+    let p = b.op(Opcode::FpMul, &[m, v]);
+    let s = b.recurrence("s");
+    let acc = b.op(Opcode::FpAdd, &[s, p]);
+    b.close_recurrence(s, acc, 1);
+    b.finish(trip)
+}
+
+/// State-update loop with both a reduction and an element-wise output
+/// (hydro fragment flavour, Livermore loop 1).
+#[must_use]
+pub fn hydro_fragment(trip: u64) -> Loop {
+    let mut b = LoopBuilder::new("hydro_fragment");
+    let q = b.invariant("q");
+    let r = b.invariant("r");
+    let t = b.invariant("t");
+    let y = b.load("y");
+    let z = b.load("z");
+    let rz = b.op(Opcode::FpMul, &[r, z]);
+    let sum = b.op(Opcode::FpAdd, &[y, rz]);
+    let tsum = b.op(Opcode::FpMul, &[t, sum]);
+    let x = b.op(Opcode::FpMul, &[q, tsum]);
+    b.store("x", x);
+    b.finish(trip)
+}
+
+/// Equation-of-state fragment (Livermore loop 7): long expression with many
+/// invariants and reused sub-expressions — register hungry.
+#[must_use]
+pub fn equation_of_state(trip: u64) -> Loop {
+    let mut b = LoopBuilder::new("equation_of_state");
+    let q = b.invariant("q");
+    let r = b.invariant("r");
+    let t = b.invariant("t");
+    let u = b.load("u");
+    let z = b.load("z");
+    let y = b.load("y");
+    let x = b.load("x");
+    let t1 = b.op(Opcode::FpMul, &[r, z]);
+    let t2 = b.op(Opcode::FpAdd, &[u, t1]);
+    let t3 = b.op(Opcode::FpMul, &[t, t2]);
+    let t4 = b.op(Opcode::FpMul, &[r, y]);
+    let t5 = b.op(Opcode::FpAdd, &[x, t4]);
+    let t6 = b.op(Opcode::FpMul, &[t, t5]);
+    let t7 = b.op(Opcode::FpAdd, &[t3, t6]);
+    let t8 = b.op(Opcode::FpMul, &[q, t7]);
+    let t9 = b.op(Opcode::FpAdd, &[u, t8]);
+    b.store("out", t9);
+    b.finish(trip)
+}
+
+/// Pointer-chasing style gather: the load address comes from another load
+/// (modelled as an invariant-strided indirection plus integer arithmetic).
+#[must_use]
+pub fn gather_scale(trip: u64) -> Loop {
+    let mut b = LoopBuilder::new("gather_scale");
+    let scale = b.invariant("scale");
+    let idx = b.load("index");
+    let addr = b.op(Opcode::IntAlu, &[idx]);
+    let sym = b.array("table");
+    let val = b.load_with("table", MemAccess { array: sym, offset: 0, stride: 24 });
+    let n = b.producer_of(val).unwrap();
+    let a = b.producer_of(addr).unwrap();
+    b.control_dep(a, n, 0); // the gather cannot issue before its index
+    let scaled = b.op(Opcode::FpMul, &[scale, val]);
+    b.store("out", scaled);
+    b.finish(trip)
+}
+
+/// Prefix-sum style partial accumulation writing every element.
+#[must_use]
+pub fn running_sum(trip: u64) -> Loop {
+    let mut b = LoopBuilder::new("running_sum");
+    let x = b.load("x");
+    let s = b.recurrence("s");
+    let sn = b.op(Opcode::FpAdd, &[s, x]);
+    b.close_recurrence(s, sn, 1);
+    b.store("prefix", sn);
+    b.finish(trip)
+}
+
+/// All kernels with a default trip count, in a deterministic order.
+#[must_use]
+pub fn all_kernels(trip: u64) -> Vec<Loop> {
+    vec![
+        daxpy(trip),
+        dot_product(trip),
+        vector_add(trip),
+        stencil3(trip),
+        stencil5(trip),
+        first_order_recurrence(trip),
+        second_order_recurrence(trip),
+        normalize(trip),
+        newton_step(trip),
+        complex_mac(trip),
+        matvec_row(trip),
+        hydro_fragment(trip),
+        equation_of_state(trip),
+        gather_scale(trip),
+        running_sum(trip),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddg::mii;
+    use vliw::LatencyModel;
+
+    #[test]
+    fn kernels_are_nonempty_and_named() {
+        for k in all_kernels(100) {
+            assert!(k.body_size() >= 3, "{} too small", k.name);
+            assert!(!k.name.is_empty());
+            assert_eq!(k.trip_count, 100);
+        }
+    }
+
+    #[test]
+    fn kernel_names_are_unique() {
+        let names: Vec<String> = all_kernels(10).into_iter().map(|k| k.name).collect();
+        let mut dedup = names.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len());
+    }
+
+    #[test]
+    fn recurrence_kernels_have_rec_mii_above_one() {
+        let lat = LatencyModel::default();
+        for k in [
+            dot_product(100),
+            first_order_recurrence(100),
+            second_order_recurrence(100),
+            newton_step(100),
+            running_sum(100),
+        ] {
+            assert!(
+                mii::rec_mii(&k.graph, &lat) > 1,
+                "{} should be recurrence bound",
+                k.name
+            );
+        }
+    }
+
+    #[test]
+    fn streaming_kernels_are_not_recurrence_bound() {
+        let lat = LatencyModel::default();
+        for k in [daxpy(100), vector_add(100), stencil3(100), complex_mac(100)] {
+            assert_eq!(mii::rec_mii(&k.graph, &lat), 1, "{}", k.name);
+        }
+    }
+
+    #[test]
+    fn memory_fraction_is_reasonable() {
+        for k in all_kernels(100) {
+            let mem = k.memory_ops();
+            assert!(mem >= 1, "{} accesses memory", k.name);
+            assert!(mem < k.body_size(), "{} is not only memory ops", k.name);
+        }
+    }
+
+    #[test]
+    fn second_order_recurrence_has_two_carried_distances() {
+        let k = second_order_recurrence(50);
+        let distances: Vec<u32> = k
+            .graph
+            .edge_ids()
+            .map(|e| k.graph.edge(e).distance)
+            .filter(|&d| d > 0)
+            .collect();
+        assert!(distances.contains(&1));
+        assert!(distances.contains(&2));
+    }
+}

@@ -1,0 +1,43 @@
+//! Workload generation: a substitute for the Perfect Club loop suite.
+//!
+//! The paper evaluates MIRS-C on 1258 software-pipelinable loops extracted
+//! from the Perfect Club benchmarks (about 80% of their execution time),
+//! with small loops unrolled to saturate the functional units. Those Fortran
+//! sources and the authors' compiler front end are not available, so this
+//! crate builds a *synthetic workbench* with the same role:
+//!
+//! * [`kernels`] — hand-written dependence graphs of classic numerical
+//!   kernels (daxpy, dot product, stencils, tridiagonal recurrences,
+//!   Livermore-style loops, division/square-root heavy bodies, …);
+//! * [`synthetic`] — a seeded random generator producing loop bodies with
+//!   controlled size, memory-operation fraction, recurrence structure and
+//!   long-latency operation mix;
+//! * [`workbench`] — the combination of both, scaled to an arbitrary number
+//!   of loops with per-loop trip counts and execution-time weights, with the
+//!   paper's "unroll small loops" policy applied.
+//!
+//! Only the dependence graph of each loop (plus its memory access pattern
+//! and trip count) reaches the schedulers, so the statistical properties the
+//! generator controls are exactly the ones that drive scheduling behaviour.
+//!
+//! # Example
+//!
+//! ```
+//! use loopgen::{Workbench, WorkbenchParams};
+//!
+//! let wb = Workbench::generate(&WorkbenchParams { loops: 40, ..Default::default() });
+//! assert_eq!(wb.loops().len(), 40);
+//! // Weights sum to 1 so per-loop results can be aggregated like the paper does.
+//! let total: f64 = wb.loops().iter().map(|l| l.weight).sum();
+//! assert!((total - 1.0).abs() < 1e-9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod kernels;
+pub mod synthetic;
+pub mod workbench;
+
+pub use synthetic::SyntheticParams;
+pub use workbench::{Workbench, WorkbenchParams};

@@ -1,0 +1,224 @@
+//! The full workbench: the stand-in for the paper's 1258 Perfect Club loops.
+
+use crate::kernels;
+use crate::synthetic::{self, SyntheticParams};
+use ddg::{unroll, Loop};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters controlling workbench generation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkbenchParams {
+    /// Total number of loops (the paper uses 1258; smaller values keep
+    /// experiments fast while preserving the mix).
+    pub loops: usize,
+    /// Random seed; the same seed always yields the same workbench.
+    pub seed: u64,
+    /// Loops smaller than this are unrolled until they reach it (the
+    /// paper's "loop unrolling has been applied on small loops in order to
+    /// saturate the functional units").
+    pub saturation_ops: usize,
+    /// Maximum unroll factor.
+    pub max_unroll: u32,
+    /// Fraction of the loops that carry a recurrence.
+    pub recurrence_fraction: f64,
+    /// Fraction of loops with long-latency operations (divide/sqrt).
+    pub long_latency_fraction: f64,
+}
+
+impl Default for WorkbenchParams {
+    fn default() -> Self {
+        Self {
+            loops: 200,
+            seed: 0x5eed_cafe,
+            saturation_ops: 12,
+            max_unroll: 8,
+            recurrence_fraction: 0.35,
+            long_latency_fraction: 0.2,
+        }
+    }
+}
+
+impl WorkbenchParams {
+    /// A workbench of the same cardinality as the paper's (1258 loops).
+    #[must_use]
+    pub fn paper_scale() -> Self {
+        Self {
+            loops: 1258,
+            ..Self::default()
+        }
+    }
+
+    /// A small workbench for unit tests and smoke benchmarks.
+    #[must_use]
+    pub fn smoke() -> Self {
+        Self {
+            loops: 24,
+            ..Self::default()
+        }
+    }
+}
+
+/// A collection of loops with execution-time weights that sum to 1.
+#[derive(Debug, Clone)]
+pub struct Workbench {
+    loops: Vec<Loop>,
+    params: WorkbenchParams,
+}
+
+impl Workbench {
+    /// Generate a workbench.
+    ///
+    /// The first loops are the hand-written kernels (unrolled to saturation
+    /// like the paper's small loops); the remainder are synthetic loops
+    /// whose size, memory intensity, recurrence structure and long-latency
+    /// mix are drawn from distributions representative of numerical codes.
+    /// Per-loop weights follow a heavy-tailed distribution so that, as in
+    /// real benchmark suites, a minority of loops dominates execution time.
+    #[must_use]
+    pub fn generate(params: &WorkbenchParams) -> Self {
+        let mut rng = StdRng::seed_from_u64(params.seed);
+        let mut loops: Vec<Loop> = Vec::with_capacity(params.loops);
+
+        // Hand-written kernels first (cycled if more are requested than exist).
+        let base_kernels = kernels::all_kernels(1000);
+        for k in base_kernels.iter().take(params.loops) {
+            loops.push(saturate(k.clone(), params));
+        }
+
+        // Synthetic loops for the rest.
+        let mut idx = 0u64;
+        while loops.len() < params.loops {
+            idx += 1;
+            let has_rec = rng.random_bool(params.recurrence_fraction);
+            let long_lat = if rng.random_bool(params.long_latency_fraction) {
+                rng.random_range(0.05..0.2)
+            } else {
+                0.0
+            };
+            let arith = rng.random_range(4..36);
+            let streams = rng.random_range(1..=((arith / 3).max(1)));
+            let sp = SyntheticParams {
+                arith_ops: arith,
+                input_streams: streams,
+                output_stores: rng.random_range(1..=3),
+                invariants: rng.random_range(0..4),
+                long_latency_fraction: long_lat,
+                recurrences: if has_rec { rng.random_range(1..=2) } else { 0 },
+                recurrence_distance: if rng.random_bool(0.8) { 1 } else { 2 },
+                trip_count: rng.random_range(32..4096),
+            };
+            let lp = synthetic::generate(&sp, params.seed.wrapping_add(idx));
+            loops.push(saturate(lp, params));
+        }
+
+        // Heavy-tailed execution weights (Zipf-like), normalized to 1.
+        let mut weights: Vec<f64> = (0..loops.len())
+            .map(|i| 1.0 / (1.0 + i as f64).powf(0.8))
+            .collect();
+        // Shuffle which loop gets which weight so kernels are not always hot.
+        for i in (1..weights.len()).rev() {
+            let j = rng.random_range(0..=i);
+            weights.swap(i, j);
+        }
+        let total: f64 = weights.iter().sum();
+        for (lp, w) in loops.iter_mut().zip(&weights) {
+            lp.weight = w / total;
+        }
+        Self {
+            loops,
+            params: *params,
+        }
+    }
+
+    /// The loops of the workbench.
+    #[must_use]
+    pub fn loops(&self) -> &[Loop] {
+        &self.loops
+    }
+
+    /// Parameters the workbench was generated with.
+    #[must_use]
+    pub fn params(&self) -> &WorkbenchParams {
+        &self.params
+    }
+
+    /// Total number of operations over all loop bodies.
+    #[must_use]
+    pub fn total_operations(&self) -> usize {
+        self.loops.iter().map(Loop::body_size).sum()
+    }
+}
+
+/// Unroll a loop until its body has at least `saturation_ops` operations.
+fn saturate(lp: Loop, params: &WorkbenchParams) -> Loop {
+    let factor = unroll::saturation_factor(lp.body_size(), params.saturation_ops, params.max_unroll);
+    if factor > 1 {
+        unroll::unroll(&lp, factor)
+    } else {
+        lp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workbench_has_requested_size_and_normalized_weights() {
+        let wb = Workbench::generate(&WorkbenchParams { loops: 50, ..Default::default() });
+        assert_eq!(wb.loops().len(), 50);
+        let total: f64 = wb.loops().iter().map(|l| l.weight).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert!(wb.total_operations() > 0);
+    }
+
+    #[test]
+    fn workbench_is_deterministic() {
+        let a = Workbench::generate(&WorkbenchParams::smoke());
+        let b = Workbench::generate(&WorkbenchParams::smoke());
+        assert_eq!(a.loops().len(), b.loops().len());
+        for (la, lb) in a.loops().iter().zip(b.loops()) {
+            assert_eq!(la.name, lb.name);
+            assert_eq!(la.body_size(), lb.body_size());
+            assert!((la.weight - lb.weight).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn small_loops_are_unrolled_to_saturation() {
+        let params = WorkbenchParams { loops: 30, saturation_ops: 12, ..Default::default() };
+        let wb = Workbench::generate(&params);
+        for lp in wb.loops() {
+            assert!(
+                lp.body_size() >= params.saturation_ops || lp.name.contains(".x8"),
+                "{} has only {} ops and was not unrolled to the cap",
+                lp.name,
+                lp.body_size()
+            );
+        }
+    }
+
+    #[test]
+    fn different_seeds_change_the_mix() {
+        let a = Workbench::generate(&WorkbenchParams { loops: 40, seed: 1, ..Default::default() });
+        let b = Workbench::generate(&WorkbenchParams { loops: 40, seed: 2, ..Default::default() });
+        let sizes_a: usize = a.total_operations();
+        let sizes_b: usize = b.total_operations();
+        assert_ne!(sizes_a, sizes_b);
+    }
+
+    #[test]
+    fn paper_scale_matches_the_papers_loop_count() {
+        assert_eq!(WorkbenchParams::paper_scale().loops, 1258);
+    }
+
+    #[test]
+    fn weights_are_heavy_tailed() {
+        let wb = Workbench::generate(&WorkbenchParams { loops: 100, ..Default::default() });
+        let mut ws: Vec<f64> = wb.loops().iter().map(|l| l.weight).collect();
+        ws.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        let top10: f64 = ws.iter().take(10).sum();
+        assert!(top10 > 0.2, "top 10% of loops should carry a large weight share");
+    }
+}

@@ -1,0 +1,23 @@
+//! Memory-hierarchy model: lockup-free cache plus an execution model for
+//! software-pipelined loops (Section 4.3 of the paper).
+//!
+//! The paper's real-memory evaluation assumes a multi-ported, lockup-free
+//! 32 KB cache with 32-byte lines, up to 8 outstanding misses, 2-cycle read
+//! hits, 1-cycle write hits and a 25 ns miss penalty (converted to cycles
+//! with each configuration's cycle time). Execution is split into *useful*
+//! cycles (the processor advances the schedule) and *stall* cycles (the
+//! processor waits for a miss that the schedule did not hide).
+//!
+//! Loads scheduled with the miss latency (binding prefetching) never stall:
+//! the schedule itself tolerates the memory latency at the cost of longer
+//! lifetimes / more registers, which is exactly the trade-off Figure 7 of
+//! the paper explores.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cache;
+mod exec;
+
+pub use cache::{Cache, CacheConfig, CacheStats};
+pub use exec::{simulate, ExecutionOutcome, MemoryParams};

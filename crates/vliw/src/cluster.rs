@@ -1,0 +1,106 @@
+//! Per-cluster resource description.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Description of one cluster: its functional units, memory ports,
+/// communication ports and register file size.
+///
+/// The paper names cluster elements `GPxMy-REGz`: `x` general-purpose
+/// floating-point units, `y` memory ports and `z` registers, plus one input
+/// and one output port for inter-cluster moves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    /// Number of general-purpose (arithmetic) functional units.
+    pub gp_units: u32,
+    /// Number of memory ports (load/store units).
+    pub mem_ports: u32,
+    /// Number of registers in the cluster's register file. `u32::MAX`
+    /// denotes an unbounded register file (used for limit studies).
+    pub registers: u32,
+    /// Number of output ports towards the inter-cluster buses.
+    pub out_ports: u32,
+    /// Number of input ports from the inter-cluster buses.
+    pub in_ports: u32,
+}
+
+impl ClusterConfig {
+    /// Cluster element `GPxMy-REGz` with the paper's 1 input + 1 output port.
+    #[must_use]
+    pub fn new(gp_units: u32, mem_ports: u32, registers: u32) -> Self {
+        Self {
+            gp_units,
+            mem_ports,
+            registers,
+            out_ports: 1,
+            in_ports: 1,
+        }
+    }
+
+    /// Cluster with an unbounded register file (for limit studies such as
+    /// Table 1 of the paper).
+    #[must_use]
+    pub fn unbounded_registers(gp_units: u32, mem_ports: u32) -> Self {
+        Self::new(gp_units, mem_ports, u32::MAX)
+    }
+
+    /// Whether the register file is unbounded.
+    #[must_use]
+    pub fn has_unbounded_registers(&self) -> bool {
+        self.registers == u32::MAX
+    }
+
+    /// Number of register-file ports implied by the cluster datapath,
+    /// counting 2 read + 1 write port per GP unit, 2 ports per memory port
+    /// and 1 port per communication port. Used by the hardware model.
+    #[must_use]
+    pub fn register_file_ports(&self) -> u32 {
+        3 * self.gp_units + 2 * self.mem_ports + self.out_ports + self.in_ports
+    }
+}
+
+impl fmt::Display for ClusterConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.has_unbounded_registers() {
+            write!(f, "GP{}M{}-REGinf", self.gp_units, self.mem_ports)
+        } else {
+            write!(
+                f,
+                "GP{}M{}-REG{}",
+                self.gp_units, self.mem_ports, self.registers
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_cluster_element_display() {
+        let c = ClusterConfig::new(2, 1, 32);
+        assert_eq!(c.to_string(), "GP2M1-REG32");
+        assert_eq!(c.out_ports, 1);
+        assert_eq!(c.in_ports, 1);
+    }
+
+    #[test]
+    fn unbounded_registers_are_flagged() {
+        let c = ClusterConfig::unbounded_registers(8, 4);
+        assert!(c.has_unbounded_registers());
+        assert_eq!(c.to_string(), "GP8M4-REGinf");
+        assert!(!ClusterConfig::new(2, 1, 16).has_unbounded_registers());
+    }
+
+    #[test]
+    fn port_count_grows_with_units() {
+        // Unified 8 GP + 4 mem: 8*3 + 4*2 + 2 = 34 ports.
+        let unified = ClusterConfig::new(8, 4, 64);
+        assert_eq!(unified.register_file_ports(), 34);
+        // Quarter cluster: 2*3 + 1*2 + 2 = 10 ports.
+        let quarter = ClusterConfig::new(2, 1, 16);
+        assert_eq!(quarter.register_file_ports(), 10);
+        assert!(quarter.register_file_ports() < unified.register_file_ports());
+    }
+}

@@ -1,0 +1,73 @@
+//! Error type for machine configuration.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced when building an invalid [`MachineConfig`](crate::MachineConfig).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// The machine must have at least one cluster.
+    NoClusters,
+    /// Every cluster needs at least one general-purpose unit.
+    NoGpUnits {
+        /// Offending cluster index.
+        cluster: usize,
+    },
+    /// A clustered machine (more than one cluster) needs at least one bus.
+    NoBuses,
+    /// A cluster was requested with zero registers.
+    NoRegisters {
+        /// Offending cluster index.
+        cluster: usize,
+    },
+    /// The requested paper configuration does not exist (e.g. a cluster
+    /// count that does not divide the 8 GP units / 4 memory ports).
+    InvalidPaperConfig {
+        /// Requested cluster count.
+        clusters: u32,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::NoClusters => write!(f, "machine must have at least one cluster"),
+            ConfigError::NoGpUnits { cluster } => {
+                write!(f, "cluster {cluster} has no general-purpose units")
+            }
+            ConfigError::NoBuses => {
+                write!(f, "clustered machine needs at least one inter-cluster bus")
+            }
+            ConfigError::NoRegisters { cluster } => {
+                write!(f, "cluster {cluster} has zero registers")
+            }
+            ConfigError::InvalidPaperConfig { clusters } => write!(
+                f,
+                "no paper configuration with {clusters} clusters (expected 1, 2, 4 or 8)"
+            ),
+        }
+    }
+}
+
+impl Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_lowercase_without_period() {
+        let msgs = [
+            ConfigError::NoClusters.to_string(),
+            ConfigError::NoGpUnits { cluster: 1 }.to_string(),
+            ConfigError::NoBuses.to_string(),
+            ConfigError::NoRegisters { cluster: 0 }.to_string(),
+            ConfigError::InvalidPaperConfig { clusters: 3 }.to_string(),
+        ];
+        for m in msgs {
+            assert!(!m.is_empty());
+            assert!(!m.ends_with('.'));
+        }
+    }
+}

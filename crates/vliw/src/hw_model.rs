@@ -1,0 +1,242 @@
+//! Register-file technology model (cycle time, area, power).
+//!
+//! The paper motivates clustering with Figure 2: the access time, area and
+//! power of a multi-ported register file grow quickly with the number of
+//! ports and registers, so partitioning the 8-unit core into 2 or 4 clusters
+//! lets each cluster run with a much faster, smaller and cooler register
+//! file. The figure is produced with the analytical model of Rixner et al.
+//! (*Register Organization for Media Processing*, HPCA-6).
+//!
+//! We reproduce the *scaling laws* of that model rather than its absolute
+//! technology numbers:
+//!
+//! * **area** of one register file grows as `R · p²` (each register cell is
+//!   crossed by every word and bit line, one pair per port),
+//! * **delay** (and therefore the core cycle time) has a fixed logic
+//!   component plus a wire component proportional to the side of the file,
+//!   `p · √R`,
+//! * **power** grows with the switched capacitance, again `R · p²`, times the
+//!   clock frequency (which we fold into a proportionality constant).
+//!
+//! The defaults are calibrated so the qualitative claims of the paper hold,
+//! e.g. a 4-cluster core with 64 registers per cluster has a cycle time in
+//! the neighbourhood of a 16-register unified core.
+
+use crate::config::MachineConfig;
+use serde::{Deserialize, Serialize};
+
+/// Analytical register-file hardware model.
+///
+/// All outputs are in arbitrary-but-consistent units (picoseconds for delay,
+/// normalized grid units for area and power); the experiments only ever use
+/// ratios between configurations.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HwModel {
+    /// Fixed (non register-file) component of the cycle time, in ps.
+    pub base_delay_ps: f64,
+    /// Wire-delay coefficient multiplying `ports · sqrt(registers)`, in ps.
+    pub wire_delay_ps: f64,
+    /// Area coefficient multiplying `registers · ports²` per cluster.
+    pub area_coeff: f64,
+    /// Fixed area of the functional units and interconnect per cluster.
+    pub base_area: f64,
+    /// Power coefficient multiplying `registers · ports²` per cluster.
+    pub power_coeff: f64,
+    /// Fixed power of the functional units per cluster.
+    pub base_power: f64,
+    /// Registers assumed for an "unbounded" register file when estimating
+    /// hardware cost (limit studies never build such a file, but the model
+    /// must return something finite).
+    pub unbounded_registers: u32,
+}
+
+impl Default for HwModel {
+    fn default() -> Self {
+        Self {
+            base_delay_ps: 1000.0,
+            wire_delay_ps: 4.6,
+            area_coeff: 1.0,
+            base_area: 4096.0,
+            power_coeff: 1.0,
+            base_power: 4096.0,
+            unbounded_registers: 1024,
+        }
+    }
+}
+
+/// Hardware estimate for a full machine configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HwEstimate {
+    /// Core cycle time in picoseconds (the slowest cluster decides).
+    pub cycle_time_ps: f64,
+    /// Total area (all clusters) in normalized units.
+    pub area: f64,
+    /// Total power (all clusters) in normalized units.
+    pub power: f64,
+}
+
+impl HwModel {
+    /// Effective register count used for hardware estimation of a cluster.
+    fn effective_registers(&self, registers: u32) -> f64 {
+        if registers == u32::MAX {
+            f64::from(self.unbounded_registers)
+        } else {
+            f64::from(registers)
+        }
+    }
+
+    /// Access delay of a single register file with `registers` entries and
+    /// `ports` ports, in picoseconds.
+    #[must_use]
+    pub fn register_file_delay_ps(&self, registers: u32, ports: u32) -> f64 {
+        let r = self.effective_registers(registers);
+        self.base_delay_ps + self.wire_delay_ps * f64::from(ports) * r.sqrt()
+    }
+
+    /// Area of a single register file with `registers` entries and `ports`
+    /// ports, in normalized units.
+    #[must_use]
+    pub fn register_file_area(&self, registers: u32, ports: u32) -> f64 {
+        let r = self.effective_registers(registers);
+        self.area_coeff * r * f64::from(ports * ports)
+    }
+
+    /// Power of a single register file with `registers` entries and `ports`
+    /// ports, in normalized units.
+    #[must_use]
+    pub fn register_file_power(&self, registers: u32, ports: u32) -> f64 {
+        let r = self.effective_registers(registers);
+        self.power_coeff * r * f64::from(ports * ports)
+    }
+
+    /// Core cycle time: the register-file access delay of the slowest
+    /// cluster (the cycle time is assumed to be constrained by register-file
+    /// access, as in the paper).
+    #[must_use]
+    pub fn cycle_time_ps(&self, mc: &MachineConfig) -> f64 {
+        mc.cluster_configs()
+            .iter()
+            .map(|c| self.register_file_delay_ps(c.registers, c.register_file_ports()))
+            .fold(0.0, f64::max)
+    }
+
+    /// Total area: register files of all clusters plus a fixed per-cluster
+    /// datapath area.
+    #[must_use]
+    pub fn area(&self, mc: &MachineConfig) -> f64 {
+        mc.cluster_configs()
+            .iter()
+            .map(|c| {
+                self.register_file_area(c.registers, c.register_file_ports())
+                    + self.base_area * f64::from(c.gp_units + c.mem_ports) / 12.0
+            })
+            .sum()
+    }
+
+    /// Total power: register files of all clusters plus a fixed per-cluster
+    /// datapath power.
+    #[must_use]
+    pub fn power(&self, mc: &MachineConfig) -> f64 {
+        mc.cluster_configs()
+            .iter()
+            .map(|c| {
+                self.register_file_power(c.registers, c.register_file_ports())
+                    + self.base_power * f64::from(c.gp_units + c.mem_ports) / 12.0
+            })
+            .sum()
+    }
+
+    /// Convenience: all three estimates at once.
+    #[must_use]
+    pub fn estimate(&self, mc: &MachineConfig) -> HwEstimate {
+        HwEstimate {
+            cycle_time_ps: self.cycle_time_ps(mc),
+            area: self.area(mc),
+            power: self.power(mc),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(k: u32, z: u32) -> MachineConfig {
+        MachineConfig::paper_config(k, z).unwrap()
+    }
+
+    #[test]
+    fn cycle_time_grows_with_registers() {
+        let hw = HwModel::default();
+        let mut prev = 0.0;
+        for z in [16, 32, 64, 128] {
+            let t = hw.cycle_time_ps(&cfg(1, z));
+            assert!(t > prev, "cycle time must grow with register count");
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn clustering_reduces_cycle_time_at_equal_total_registers() {
+        let hw = HwModel::default();
+        // 64 registers in total: 1x64 vs 2x32 vs 4x16.
+        let t1 = hw.cycle_time_ps(&cfg(1, 64));
+        let t2 = hw.cycle_time_ps(&cfg(2, 32));
+        let t4 = hw.cycle_time_ps(&cfg(4, 16));
+        assert!(t2 < t1);
+        assert!(t4 < t2);
+    }
+
+    #[test]
+    fn paper_headline_claim_four_clusters_of_64_close_to_unified_16() {
+        // "a 4-cluster processor with 64 registers per cluster has a cycle
+        //  time slightly below a 16-register unified configuration"
+        let hw = HwModel::default();
+        let clustered = hw.cycle_time_ps(&cfg(4, 64));
+        let unified16 = hw.cycle_time_ps(&cfg(1, 16));
+        assert!(clustered < unified16);
+        assert!(clustered > 0.5 * unified16, "should be *slightly* below, not far below");
+    }
+
+    #[test]
+    fn area_and_power_scale_with_ports_squared() {
+        let hw = HwModel::default();
+        let a_small = hw.register_file_area(64, 10);
+        let a_big = hw.register_file_area(64, 20);
+        assert!((a_big / a_small - 4.0).abs() < 1e-9);
+        let p_small = hw.register_file_power(64, 10);
+        let p_big = hw.register_file_power(64, 20);
+        assert!((p_big / p_small - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clustered_cores_are_smaller_and_cooler_than_unified_with_same_total_registers() {
+        let hw = HwModel::default();
+        for (k, z) in [(2u32, 32u32), (4, 16)] {
+            let clustered = hw.estimate(&cfg(k, z));
+            let unified = hw.estimate(&cfg(1, k * z));
+            assert!(clustered.area < unified.area, "k={k}");
+            assert!(clustered.power < unified.power, "k={k}");
+        }
+    }
+
+    #[test]
+    fn unbounded_registers_get_finite_estimates() {
+        let hw = HwModel::default();
+        let mc = MachineConfig::paper_config_unbounded(2).unwrap();
+        let est = hw.estimate(&mc);
+        assert!(est.cycle_time_ps.is_finite());
+        assert!(est.area.is_finite());
+        assert!(est.power.is_finite());
+    }
+
+    #[test]
+    fn estimate_is_consistent_with_individual_queries() {
+        let hw = HwModel::default();
+        let mc = cfg(2, 64);
+        let est = hw.estimate(&mc);
+        assert_eq!(est.cycle_time_ps, hw.cycle_time_ps(&mc));
+        assert_eq!(est.area, hw.area(&mc));
+        assert_eq!(est.power, hw.power(&mc));
+    }
+}

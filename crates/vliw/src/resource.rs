@@ -1,0 +1,143 @@
+//! Resource identifiers used by reservation tables and the modulo
+//! reservation table of the schedulers.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a cluster (0-based).
+///
+/// In a non-clustered (unified) machine there is exactly one cluster with
+/// id 0, which keeps the scheduler code uniform.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
+pub struct ClusterId(pub u16);
+
+impl ClusterId {
+    /// Cluster 0, the only cluster of a unified machine.
+    pub const ZERO: ClusterId = ClusterId(0);
+
+    /// Numeric index of the cluster.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ClusterId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+impl From<u16> for ClusterId {
+    fn from(v: u16) -> Self {
+        ClusterId(v)
+    }
+}
+
+impl From<usize> for ClusterId {
+    fn from(v: usize) -> Self {
+        ClusterId(u16::try_from(v).expect("cluster index fits in u16"))
+    }
+}
+
+/// A schedulable hardware resource class.
+///
+/// Resources are identified *per cluster* except for the inter-cluster buses,
+/// which are shared by the whole core. Reservation tables list which of these
+/// resources an operation occupies at each cycle relative to its issue cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ResourceKind {
+    /// One of the general-purpose functional units of `cluster`.
+    GpUnit {
+        /// Owning cluster.
+        cluster: ClusterId,
+    },
+    /// One of the memory ports (load/store units) of `cluster`.
+    MemPort {
+        /// Owning cluster.
+        cluster: ClusterId,
+    },
+    /// The output port of `cluster` (sends a value onto a bus).
+    OutPort {
+        /// Owning cluster.
+        cluster: ClusterId,
+    },
+    /// The input port of `cluster` (receives a value from a bus).
+    InPort {
+        /// Owning cluster.
+        cluster: ClusterId,
+    },
+    /// One of the shared inter-cluster buses.
+    Bus,
+}
+
+impl ResourceKind {
+    /// Cluster owning the resource, if it is a per-cluster resource.
+    #[must_use]
+    pub fn cluster(self) -> Option<ClusterId> {
+        match self {
+            ResourceKind::GpUnit { cluster }
+            | ResourceKind::MemPort { cluster }
+            | ResourceKind::OutPort { cluster }
+            | ResourceKind::InPort { cluster } => Some(cluster),
+            ResourceKind::Bus => None,
+        }
+    }
+
+    /// Whether the resource is shared between clusters.
+    #[must_use]
+    pub fn is_shared(self) -> bool {
+        matches!(self, ResourceKind::Bus)
+    }
+}
+
+impl fmt::Display for ResourceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResourceKind::GpUnit { cluster } => write!(f, "gp@{cluster}"),
+            ResourceKind::MemPort { cluster } => write!(f, "mem@{cluster}"),
+            ResourceKind::OutPort { cluster } => write!(f, "out@{cluster}"),
+            ResourceKind::InPort { cluster } => write!(f, "in@{cluster}"),
+            ResourceKind::Bus => write!(f, "bus"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cluster_id_conversions() {
+        assert_eq!(ClusterId::from(3usize).index(), 3);
+        assert_eq!(ClusterId::from(7u16), ClusterId(7));
+        assert_eq!(ClusterId::ZERO.index(), 0);
+    }
+
+    #[test]
+    fn bus_is_the_only_shared_resource() {
+        let c = ClusterId(1);
+        assert!(ResourceKind::Bus.is_shared());
+        assert!(ResourceKind::Bus.cluster().is_none());
+        for r in [
+            ResourceKind::GpUnit { cluster: c },
+            ResourceKind::MemPort { cluster: c },
+            ResourceKind::OutPort { cluster: c },
+            ResourceKind::InPort { cluster: c },
+        ] {
+            assert!(!r.is_shared());
+            assert_eq!(r.cluster(), Some(c));
+        }
+    }
+
+    #[test]
+    fn display_mentions_cluster() {
+        let r = ResourceKind::GpUnit {
+            cluster: ClusterId(2),
+        };
+        assert_eq!(r.to_string(), "gp@c2");
+        assert_eq!(ResourceKind::Bus.to_string(), "bus");
+    }
+}

@@ -1,0 +1,43 @@
+//! Quickstart: build a loop, schedule it with MIRS-C for a clustered VLIW
+//! machine and print the resulting modulo schedule.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use ddg::LoopBuilder;
+use mirs::{MirsScheduler, SchedulerOptions};
+use vliw::{MachineConfig, Opcode};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // y[i] = a * x[i] + y[i]  (daxpy)
+    let mut b = LoopBuilder::new("daxpy");
+    let a = b.invariant("a");
+    let x = b.load("x");
+    let y = b.load("y");
+    let ax = b.op(Opcode::FpMul, &[a, x]);
+    let sum = b.op(Opcode::FpAdd, &[ax, y]);
+    b.store("y", sum);
+    let lp = b.finish(1000);
+
+    // A 2-cluster machine: 2-(GP4M2-REG32), 2 buses, 1-cycle moves.
+    let machine = MachineConfig::paper_config(2, 32)?;
+    let scheduler = MirsScheduler::new(&machine, SchedulerOptions::default());
+    let result = scheduler.schedule(&lp)?;
+
+    println!("loop          : {}", result.loop_name);
+    println!("machine       : {}", machine);
+    println!("MII / II      : {} / {}", result.mii, result.ii);
+    println!("memory traffic: {} ops/iteration", result.memory_traffic);
+    println!("moves         : {} /iteration", result.moves);
+    println!("MaxLive       : {:?}", result.max_live);
+    println!();
+    println!("{:<6} {:>6}  {:<8} operation", "cycle", "", "cluster");
+    let mut rows: Vec<_> = result.placements.iter().map(|(&n, p)| (p.cycle, p.cluster, n)).collect();
+    rows.sort();
+    for (cycle, cluster, node) in rows {
+        let op = result.graph.op(node);
+        println!("{cycle:<6} {:>6}  {cluster:<8} {} ({})", "", op.name, op.opcode);
+    }
+    result.validate(&machine)?;
+    println!("\nschedule validated: dependences, resources, locality and registers all hold");
+    Ok(())
+}

@@ -1,0 +1,63 @@
+//! Register pressure and integrated spilling: the same loop scheduled on
+//! register files from 128 down to 16 registers, with MIRS-C and with the
+//! non-iterative baseline (which simply gives up when registers run out).
+//!
+//! Run with: `cargo run --release --example register_pressure`
+
+use baseline::BaselineScheduler;
+use ddg::LoopBuilder;
+use mirs::{MirsScheduler, SchedulerOptions};
+use vliw::{ClusterConfig, MachineConfig, Opcode};
+
+/// A loop holding many long-lived values: 24 loaded values are only
+/// consumed after a long serial chain, so they all stay live together.
+fn pressure_loop() -> ddg::Loop {
+    let mut b = LoopBuilder::new("pressure");
+    let mut held = Vec::new();
+    for i in 0..24 {
+        held.push(b.load(&format!("x{i}")));
+    }
+    let mut chain = b.load("c");
+    for _ in 0..8 {
+        chain = b.op(Opcode::FpMul, &[chain, chain]);
+    }
+    let mut acc = chain;
+    for v in held {
+        acc = b.op(Opcode::FpAdd, &[acc, v]);
+    }
+    b.store("out", acc);
+    b.finish(500)
+}
+
+fn main() {
+    let lp = pressure_loop();
+    println!("loop {}: {} operations, {} memory ops\n", lp.name, lp.body_size(), lp.memory_ops());
+    println!(
+        "{:>5} | {:>8} {:>8} {:>8} {:>8} | {:>12}",
+        "regs", "MIRS II", "traffic", "spills", "MaxLive", "baseline II"
+    );
+    for regs in [128u32, 64, 48, 32, 24, 16] {
+        let machine = MachineConfig::builder()
+            .identical_clusters(1, ClusterConfig::new(8, 4, regs))
+            .buses(2)
+            .build()
+            .unwrap();
+        let mirs = MirsScheduler::new(&machine, SchedulerOptions::default())
+            .schedule(&lp)
+            .expect("MIRS-C converges thanks to integrated spilling");
+        mirs.validate(&machine).expect("valid schedule");
+        let base = BaselineScheduler::new(&machine).schedule(&lp);
+        let base_ii = base.map(|r| r.ii.to_string()).unwrap_or_else(|_| "no cnvr".to_string());
+        println!(
+            "{regs:>5} | {:>8} {:>8} {:>8} {:>8} | {:>12}",
+            mirs.ii,
+            mirs.memory_traffic,
+            mirs.stats.spill_loads + mirs.stats.spill_stores,
+            mirs.max_live[0],
+            base_ii
+        );
+    }
+    println!("\nAs registers shrink, MIRS-C trades memory traffic (spill code) and a");
+    println!("slightly larger II for feasibility; the non-iterative baseline cannot");
+    println!("insert spill code and stops converging once MaxLive exceeds the file.");
+}

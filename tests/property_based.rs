@@ -1,0 +1,99 @@
+//! Property-based tests: every randomly generated loop must schedule to a
+//! valid modulo schedule on every machine shape, and core invariants of the
+//! substrate crates must hold for arbitrary inputs.
+
+use ddg::lifetime::{LifetimeInterval, Pressure};
+use ddg::ValueId;
+use loopgen::{synthetic, SyntheticParams};
+use mirs::{MirsScheduler, SchedulerOptions};
+use proptest::prelude::*;
+use vliw::{ClusterConfig, MachineConfig};
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, .. ProptestConfig::default() })]
+
+    /// Any synthetic loop schedules to a validated schedule on any paper
+    /// machine shape, and the achieved II never beats the MII.
+    #[test]
+    fn random_loops_schedule_and_validate(
+        seed in 0u64..1000,
+        arith in 3usize..20,
+        streams in 1usize..5,
+        recurrences in 0usize..2,
+        clusters_pow in 0u32..3,
+        regs_idx in 0usize..3,
+    ) {
+        let params = SyntheticParams {
+            arith_ops: arith,
+            input_streams: streams,
+            output_stores: 1,
+            invariants: 1,
+            recurrences,
+            ..SyntheticParams::default()
+        };
+        let lp = synthetic::generate(&params, seed);
+        let k = 1u32 << clusters_pow;
+        let regs = [16u32, 32, 64][regs_idx];
+        let machine = MachineConfig::builder()
+            .identical_clusters(k, ClusterConfig::new(8 / k, 4 / k, regs))
+            .buses(2)
+            .build()
+            .unwrap();
+        let lat = machine.latencies();
+        let bounds = ddg::mii::mii(&lp.graph, lat, 8, 4);
+        let result = MirsScheduler::new(&machine, SchedulerOptions::default())
+            .schedule(&lp)
+            .expect("synthetic loops always converge under MIRS-C");
+        prop_assert!(result.ii >= bounds.mii());
+        prop_assert!(result.validate(&machine).is_ok());
+        prop_assert!(result.memory_traffic as usize >= lp.memory_ops());
+    }
+
+    /// Folding lifetimes modulo the II never undercounts: MaxLive is at
+    /// least the number of registers any single lifetime needs, and the sum
+    /// over kernel cycles equals the total covered cycles.
+    #[test]
+    fn pressure_folding_is_consistent(
+        intervals in proptest::collection::vec((0i64..200, 0i64..60), 1..20),
+        ii in 1u32..40,
+    ) {
+        let ivs: Vec<LifetimeInterval> = intervals
+            .iter()
+            .enumerate()
+            .map(|(i, &(start, len))| LifetimeInterval { value: ValueId(i as u32), start, end: start + len })
+            .collect();
+        let p = Pressure::compute(ivs.iter(), ii, 0);
+        let max_single = ivs.iter().map(|iv| iv.registers(ii)).max().unwrap_or(0);
+        prop_assert!(p.max_live() >= max_single);
+        let total_cells: i64 = p.per_cycle().iter().map(|&c| i64::from(c)).sum();
+        let total_covered: i64 = ivs.iter().map(LifetimeInterval::len).sum();
+        prop_assert_eq!(total_cells, total_covered);
+        prop_assert!(p.critical_cycle() < ii);
+    }
+
+    /// Unrolling multiplies body size and divides the trip count.
+    #[test]
+    fn unrolling_scales_structurally(seed in 0u64..200, factor in 1u32..5) {
+        let lp = synthetic::generate(&SyntheticParams::small(), seed);
+        let unrolled = ddg::unroll::unroll(&lp, factor);
+        prop_assert_eq!(unrolled.body_size(), lp.body_size() * factor as usize);
+        prop_assert_eq!(unrolled.trip_count, lp.trip_count / u64::from(factor));
+        prop_assert_eq!(
+            unrolled.graph.edge_count(),
+            lp.graph.edge_count() * factor as usize
+        );
+    }
+
+    /// The HRMS ordering is always a permutation of the nodes.
+    #[test]
+    fn hrms_order_is_a_permutation(seed in 0u64..300, recurrences in 0usize..3) {
+        let params = SyntheticParams { recurrences, ..SyntheticParams::default() };
+        let lp = synthetic::generate(&params, seed);
+        let order = ddg::hrms::hrms_order(&lp.graph, &vliw::LatencyModel::default());
+        prop_assert_eq!(order.len(), lp.graph.node_count());
+        let mut sorted = order.clone();
+        sorted.sort();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), order.len());
+    }
+}
