@@ -95,12 +95,13 @@ impl<'m> BaselineScheduler<'m> {
     /// no spill code.
     #[must_use]
     pub fn engine_options(&self) -> SchedulerOptions {
-        let mut opts = SchedulerOptions::default();
-        opts.enable_backtracking = false;
-        opts.enable_spill = false;
-        opts.max_ii = self.options.max_ii;
-        opts.prefetch = self.options.prefetch;
-        opts
+        SchedulerOptions {
+            enable_backtracking: false,
+            enable_spill: false,
+            max_ii: self.options.max_ii,
+            prefetch: self.options.prefetch,
+            ..SchedulerOptions::default()
+        }
     }
 
     /// Schedule `lp` without backtracking or spilling.
@@ -188,8 +189,10 @@ mod tests {
             .build()
             .unwrap();
         let lp = pressure_bomb(24);
-        let mut opts = BaselineOptions::default();
-        opts.max_ii = 32;
+        let opts = BaselineOptions {
+            max_ii: 32,
+            ..BaselineOptions::default()
+        };
         let r = BaselineScheduler::with_options(&machine, opts).schedule(&lp);
         assert!(matches!(r, Err(ScheduleError::NotConverged { .. })));
     }
@@ -202,9 +205,13 @@ mod tests {
             .build()
             .unwrap();
         let lp = pressure_bomb(20);
-        let mut bopts = BaselineOptions::default();
-        bopts.max_ii = 32;
-        assert!(BaselineScheduler::with_options(&machine, bopts).schedule(&lp).is_err());
+        let bopts = BaselineOptions {
+            max_ii: 32,
+            ..BaselineOptions::default()
+        };
+        assert!(BaselineScheduler::with_options(&machine, bopts)
+            .schedule(&lp)
+            .is_err());
         let mirs_result = MirsScheduler::new(&machine, SchedulerOptions::default())
             .schedule(&lp)
             .expect("integrated spilling handles the pressure");

@@ -7,10 +7,16 @@ use mirs::{EjectionPolicy, MirsScheduler, SchedulerOptions};
 use vliw::MachineConfig;
 
 fn bench(c: &mut Criterion) {
-    let wb = Workbench::generate(&WorkbenchParams { loops: 8, ..Default::default() });
+    let wb = Workbench::generate(&WorkbenchParams {
+        loops: 8,
+        ..Default::default()
+    });
     let machine = MachineConfig::paper_config(4, 32).unwrap();
     println!("\nAblation: ejection policy on 4-(GP2M1-REG32)");
-    println!("{:>8} {:>10} {:>10} {:>12}", "policy", "sum II", "sum trf", "ejections");
+    println!(
+        "{:>8} {:>10} {:>10} {:>12}",
+        "policy", "sum II", "sum trf", "ejections"
+    );
     for (name, policy) in [("one", EjectionPolicy::One), ("all", EjectionPolicy::All)] {
         let opts = SchedulerOptions::default().with_ejection(policy);
         let mut sum_ii = 0u64;
@@ -25,7 +31,10 @@ fn bench(c: &mut Criterion) {
         }
         println!("{name:>8} {sum_ii:>10} {sum_trf:>10} {ejections:>12}");
     }
-    let small = Workbench::generate(&WorkbenchParams { loops: 2, ..Default::default() });
+    let small = Workbench::generate(&WorkbenchParams {
+        loops: 2,
+        ..Default::default()
+    });
     let mut g = c.benchmark_group("ablation_ejection");
     g.sample_size(10);
     for (name, policy) in [("one", EjectionPolicy::One), ("all", EjectionPolicy::All)] {

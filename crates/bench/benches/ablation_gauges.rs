@@ -8,11 +8,25 @@ use mirs::{MirsScheduler, PrefetchPolicy, SchedulerOptions};
 use vliw::MachineConfig;
 
 fn bench(c: &mut Criterion) {
-    let wb = Workbench::generate(&WorkbenchParams { loops: 8, ..Default::default() });
+    let wb = Workbench::generate(&WorkbenchParams {
+        loops: 8,
+        ..Default::default()
+    });
     let machine = MachineConfig::paper_config(4, 16).unwrap();
     println!("\nAblation: gauges on 4-(GP2M1-REG16)");
-    println!("{:>4} {:>4} {:>4} {:>10} {:>10}", "SG", "MSG", "DG", "sum II", "sum trf");
-    for (sg, msg, dg) in [(1.0, 4, 4), (2.0, 4, 4), (4.0, 4, 4), (2.0, 1, 4), (2.0, 8, 4), (2.0, 4, 1), (2.0, 4, 8)] {
+    println!(
+        "{:>4} {:>4} {:>4} {:>10} {:>10}",
+        "SG", "MSG", "DG", "sum II", "sum trf"
+    );
+    for (sg, msg, dg) in [
+        (1.0, 4, 4),
+        (2.0, 4, 4),
+        (4.0, 4, 4),
+        (2.0, 1, 4),
+        (2.0, 8, 4),
+        (2.0, 4, 1),
+        (2.0, 4, 8),
+    ] {
         let opts = SchedulerOptions::default()
             .with_spill_gauge(sg)
             .with_min_span_gauge(msg)
@@ -27,7 +41,10 @@ fn bench(c: &mut Criterion) {
         }
         println!("{sg:>4} {msg:>4} {dg:>4} {sum_ii:>10} {sum_trf:>10}");
     }
-    let small = Workbench::generate(&WorkbenchParams { loops: 2, ..Default::default() });
+    let small = Workbench::generate(&WorkbenchParams {
+        loops: 2,
+        ..Default::default()
+    });
     let mut g = c.benchmark_group("ablation_gauges");
     g.sample_size(10);
     g.bench_function("default_gauges", |b| {

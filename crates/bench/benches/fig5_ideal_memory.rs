@@ -6,10 +6,16 @@ use loopgen::{Workbench, WorkbenchParams};
 use vliw::HwModel;
 
 fn bench(c: &mut Criterion) {
-    let wb = Workbench::generate(&WorkbenchParams { loops: 10, ..Default::default() });
+    let wb = Workbench::generate(&WorkbenchParams {
+        loops: 10,
+        ..Default::default()
+    });
     let fig = fig5::run(&wb, &HwModel::default());
     println!("\n{fig}");
-    let small = Workbench::generate(&WorkbenchParams { loops: 2, ..Default::default() });
+    let small = Workbench::generate(&WorkbenchParams {
+        loops: 2,
+        ..Default::default()
+    });
     let mut g = c.benchmark_group("fig5_ideal_memory");
     g.sample_size(10);
     g.bench_function("workbench2", |b| {

@@ -5,13 +5,21 @@ use harness::fig6;
 use loopgen::{Workbench, WorkbenchParams};
 
 fn bench(c: &mut Criterion) {
-    let wb = Workbench::generate(&WorkbenchParams { loops: 10, ..Default::default() });
+    let wb = Workbench::generate(&WorkbenchParams {
+        loops: 10,
+        ..Default::default()
+    });
     let fig = fig6::run(&wb, 8);
     println!("\n{fig}");
-    let small = Workbench::generate(&WorkbenchParams { loops: 2, ..Default::default() });
+    let small = Workbench::generate(&WorkbenchParams {
+        loops: 2,
+        ..Default::default()
+    });
     let mut g = c.benchmark_group("fig6_scalability");
     g.sample_size(10);
-    g.bench_function("workbench2_k4", |b| b.iter(|| std::hint::black_box(fig6::run(&small, 4))));
+    g.bench_function("workbench2_k4", |b| {
+        b.iter(|| std::hint::black_box(fig6::run(&small, 4)))
+    });
     g.finish();
 }
 

@@ -5,13 +5,21 @@ use harness::table2;
 use loopgen::{Workbench, WorkbenchParams};
 
 fn bench(c: &mut Criterion) {
-    let wb = Workbench::generate(&WorkbenchParams { loops: 12, ..Default::default() });
+    let wb = Workbench::generate(&WorkbenchParams {
+        loops: 12,
+        ..Default::default()
+    });
     let table = table2::run(&wb);
     println!("\n{table}");
-    let small = Workbench::generate(&WorkbenchParams { loops: 3, ..Default::default() });
+    let small = Workbench::generate(&WorkbenchParams {
+        loops: 3,
+        ..Default::default()
+    });
     let mut g = c.benchmark_group("table2_constrained");
     g.sample_size(10);
-    g.bench_function("workbench3", |b| b.iter(|| std::hint::black_box(table2::run(&small))));
+    g.bench_function("workbench3", |b| {
+        b.iter(|| std::hint::black_box(table2::run(&small)))
+    });
     g.finish();
 }
 

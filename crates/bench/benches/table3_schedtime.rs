@@ -5,13 +5,21 @@ use harness::table3;
 use loopgen::{Workbench, WorkbenchParams};
 
 fn bench(c: &mut Criterion) {
-    let wb = Workbench::generate(&WorkbenchParams { loops: 12, ..Default::default() });
+    let wb = Workbench::generate(&WorkbenchParams {
+        loops: 12,
+        ..Default::default()
+    });
     let table = table3::run(&wb);
     println!("\n{table}");
-    let small = Workbench::generate(&WorkbenchParams { loops: 2, ..Default::default() });
+    let small = Workbench::generate(&WorkbenchParams {
+        loops: 2,
+        ..Default::default()
+    });
     let mut g = c.benchmark_group("table3_schedtime");
     g.sample_size(10);
-    g.bench_function("workbench2", |b| b.iter(|| std::hint::black_box(table3::run(&small))));
+    g.bench_function("workbench2", |b| {
+        b.iter(|| std::hint::black_box(table3::run(&small)))
+    });
     g.finish();
 }
 

@@ -48,7 +48,7 @@ impl SchedState<'_> {
             }
             if let Some(producer) = self.graph.value(v).producer {
                 if let Some(pc) = self.sched.cluster_of(producer) {
-                    if pc != cluster && !self.move_of_value_into(v, cluster).is_some() {
+                    if pc != cluster && self.move_of_value_into(v, cluster).is_none() {
                         count += 1;
                     }
                 }

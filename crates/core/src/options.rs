@@ -15,10 +15,11 @@ pub enum EjectionPolicy {
 }
 
 /// How memory load latencies are assumed during scheduling.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub enum PrefetchPolicy {
     /// Every load is scheduled with the cache *hit* latency; the processor
     /// stalls on misses (the paper's "Normal" configuration).
+    #[default]
     HitLatency,
     /// Selective binding prefetching (Sánchez & González, MICRO-30): loads
     /// are scheduled with the *miss* latency so the schedule itself hides
@@ -30,12 +31,6 @@ pub enum PrefetchPolicy {
         /// (avoids disproportionate prologue/epilogue cost).
         min_trip_count: u64,
     },
-}
-
-impl Default for PrefetchPolicy {
-    fn default() -> Self {
-        PrefetchPolicy::HitLatency
-    }
 }
 
 /// Parameters of the iterative scheduling algorithm.

@@ -92,9 +92,7 @@ mod tests {
             lp.trip_count,
         );
         assert_eq!(n, 0);
-        assert!(g
-            .node_ids()
-            .all(|n| g.op(n).mem_latency == MemLatency::Hit));
+        assert!(g.node_ids().all(|n| g.op(n).mem_latency == MemLatency::Hit));
     }
 
     #[test]
@@ -122,7 +120,9 @@ mod tests {
         let marked = apply_prefetch_policy(
             &mut g,
             &LatencyModel::default(),
-            &PrefetchPolicy::SelectiveBinding { min_trip_count: 5000 },
+            &PrefetchPolicy::SelectiveBinding {
+                min_trip_count: 5000,
+            },
             lp.trip_count,
         );
         assert_eq!(marked, 0);

@@ -1,7 +1,7 @@
 //! The priority list driving the iterative scheduler.
 
+use ddg::collections::HashMap;
 use ddg::NodeId;
-use std::collections::HashMap;
 
 /// Priority list of nodes waiting to be scheduled.
 ///

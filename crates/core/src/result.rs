@@ -1,8 +1,8 @@
 //! Final schedules and their validation.
 
+use ddg::collections::HashMap;
 use ddg::{DepGraph, NodeId};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 use std::fmt;
 use vliw::{ClusterId, MachineConfig, ResourceKind};
 
@@ -115,7 +115,7 @@ impl ScheduleResult {
             }
         }
         // Resources.
-        let mut usage: HashMap<(ResourceKind, u32), u32> = HashMap::new();
+        let mut usage: HashMap<(ResourceKind, u32), u32> = HashMap::default();
         for (&n, p) in &self.placements {
             if !self.graph.is_live(n) {
                 continue;
@@ -240,7 +240,10 @@ impl fmt::Display for ValidationError {
                 write!(f, "dependence {from} -> {to} violated (slack {slack})")
             }
             ValidationError::ResourceOverflow { kind, kernel_cycle } => {
-                write!(f, "resource {kind} oversubscribed at kernel cycle {kernel_cycle}")
+                write!(
+                    f,
+                    "resource {kind} oversubscribed at kernel cycle {kernel_cycle}"
+                )
             }
             ValidationError::NonLocalOperand {
                 node,
@@ -275,7 +278,7 @@ mod tests {
             ii: 3,
             mii: 3,
             graph: DepGraph::new(),
-            placements: HashMap::new(),
+            placements: HashMap::default(),
             max_live: vec![0],
             memory_traffic: 0,
             moves: 0,
@@ -327,7 +330,7 @@ mod tests {
             ii: 1,
             mii: 1,
             graph: DepGraph::new(),
-            placements: HashMap::new(),
+            placements: HashMap::default(),
             max_live: vec![0],
             memory_traffic: 0,
             moves: 0,

@@ -1,8 +1,8 @@
 //! The partial schedule and its modulo reservation table.
 
+use ddg::collections::HashMap;
 use ddg::NodeId;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 use vliw::{ClusterId, MachineConfig, ReservationTable, ResourceKind};
 
 /// Placement of one node in the partial schedule.
@@ -46,8 +46,8 @@ impl PartialSchedule {
         assert!(ii > 0, "the initiation interval must be positive");
         Self {
             ii,
-            placements: HashMap::new(),
-            usage: HashMap::new(),
+            placements: HashMap::default(),
+            usage: HashMap::default(),
             next_order: 0,
         }
     }
@@ -90,7 +90,9 @@ impl PartialSchedule {
 
     /// Iterator over scheduled nodes with their cycle and cluster.
     pub fn iter(&self) -> impl Iterator<Item = (NodeId, i64, ClusterId)> + '_ {
-        self.placements.iter().map(|(&n, p)| (n, p.cycle, p.cluster))
+        self.placements
+            .iter()
+            .map(|(&n, p)| (n, p.cycle, p.cluster))
     }
 
     /// Earliest issue cycle used by any scheduled node.
@@ -117,7 +119,7 @@ impl PartialSchedule {
         // latency longer than the II on a machine with a single unit could
         // still fit if capacity > 1; the per-slot counting below handles
         // that case correctly, including self-overlap).
-        let mut extra: HashMap<(ResourceKind, u32), u32> = HashMap::new();
+        let mut extra: HashMap<(ResourceKind, u32), u32> = HashMap::default();
         for u in rt {
             let key = (u.kind, self.slot(cycle, u.offset));
             *extra.entry(key).or_insert(0) += 1;
@@ -140,10 +142,7 @@ impl PartialSchedule {
     ///
     /// Panics if the node is already scheduled.
     pub fn place(&mut self, node: NodeId, cycle: i64, cluster: ClusterId, rt: ReservationTable) {
-        assert!(
-            !self.is_scheduled(node),
-            "node {node} is already scheduled"
-        );
+        assert!(!self.is_scheduled(node), "node {node} is already scheduled");
         for u in &rt {
             let key = (u.kind, self.slot(cycle, u.offset));
             self.usage.entry(key).or_default().push(node);
@@ -210,7 +209,7 @@ impl PartialSchedule {
         rt: &ReservationTable,
         cycle: i64,
     ) -> Vec<NodeId> {
-        let mut extra: HashMap<(ResourceKind, u32), u32> = HashMap::new();
+        let mut extra: HashMap<(ResourceKind, u32), u32> = HashMap::default();
         for u in rt {
             let key = (u.kind, self.slot(cycle, u.offset));
             *extra.entry(key).or_insert(0) += 1;
@@ -360,7 +359,11 @@ mod tests {
         let m = machine();
         let mut s = PartialSchedule::new(4);
         s.place(NodeId(0), 0, ClusterId(0), rt(Opcode::FpDiv, 0));
-        assert!(m.resource_count(ResourceKind::GpUnit { cluster: ClusterId(0) }) >= 1);
+        assert!(
+            m.resource_count(ResourceKind::GpUnit {
+                cluster: ClusterId(0)
+            }) >= 1
+        );
         assert_eq!(
             s.occupancy(ResourceKind::GpUnit {
                 cluster: ClusterId(0)

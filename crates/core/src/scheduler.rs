@@ -7,8 +7,8 @@ use crate::prefetch::apply_prefetch_policy;
 use crate::priority::PriorityList;
 use crate::result::{Placement, ScheduleResult, SchedulerStats};
 use crate::schedule::PartialSchedule;
+use ddg::collections::HashMap;
 use ddg::{hrms, mii, DepGraph, Loop, NodeId};
-use std::collections::HashMap;
 use std::time::Instant;
 use vliw::{ClusterId, MachineConfig, Opcode, ReservationTable};
 
@@ -153,8 +153,8 @@ impl<'m> MirsScheduler<'m> {
             graph,
             sched: PartialSchedule::new(ii),
             plist: PriorityList::from_order(&order),
-            prev_cycle: HashMap::new(),
-            move_route: HashMap::new(),
+            prev_cycle: HashMap::default(),
+            move_route: HashMap::default(),
             budget,
             spills_inserted: 0,
             stats: std::mem::take(carried),
@@ -168,7 +168,10 @@ impl<'m> MirsScheduler<'m> {
 
             // (C1) cluster selection; moves keep their fixed destination.
             let cluster = if st.graph.op(u).opcode.is_move() {
-                st.move_route.get(&u).map(|&(_, d)| d).unwrap_or(ClusterId::ZERO)
+                st.move_route
+                    .get(&u)
+                    .map(|&(_, d)| d)
+                    .unwrap_or(ClusterId::ZERO)
             } else {
                 st.select_cluster(u)
             };
@@ -424,7 +427,8 @@ impl SchedState<'_> {
                 }
                 if let Some(producer) = producer {
                     if producer != edge.to {
-                        self.graph.add_flow(producer, edge.to, src_value, edge.distance);
+                        self.graph
+                            .add_flow(producer, edge.to, src_value, edge.distance);
                     }
                 }
                 // Restore the consumer's operand list.
@@ -444,18 +448,38 @@ impl SchedState<'_> {
     /// spill code) can no longer fit in the memory ports at the current II.
     pub(crate) fn should_restart(&mut self) -> bool {
         if self.budget <= 0 {
-            if std::env::var("MIRS_DEBUG").is_ok() { eprintln!("RESTART: budget exhausted, ii={} rr={:?} spills={}", self.sched.ii(), self.register_requirements(), self.spills_inserted); }
+            if std::env::var("MIRS_DEBUG").is_ok() {
+                eprintln!(
+                    "RESTART: budget exhausted, ii={} rr={:?} spills={}",
+                    self.sched.ii(),
+                    self.register_requirements(),
+                    self.spills_inserted
+                );
+            }
             return true;
         }
         let mem_ops = self.graph.count_ops(Opcode::is_memory) as u64;
         let capacity = u64::from(self.machine.total_mem_ports()) * u64::from(self.sched.ii());
         if mem_ops > capacity {
-            if std::env::var("MIRS_DEBUG").is_ok() { eprintln!("RESTART: traffic {} > {} at ii={}", mem_ops, capacity, self.sched.ii()); }
+            if std::env::var("MIRS_DEBUG").is_ok() {
+                eprintln!(
+                    "RESTART: traffic {} > {} at ii={}",
+                    mem_ops,
+                    capacity,
+                    self.sched.ii()
+                );
+            }
             return true;
         }
         // Safety valve: runaway spilling means the II is too tight.
         if self.spills_inserted as usize > 10 * self.graph.node_count().max(8) {
-            if std::env::var("MIRS_DEBUG").is_ok() { eprintln!("RESTART: runaway spills {} at ii={}", self.spills_inserted, self.sched.ii()); }
+            if std::env::var("MIRS_DEBUG").is_ok() {
+                eprintln!(
+                    "RESTART: runaway spills {} at ii={}",
+                    self.spills_inserted,
+                    self.sched.ii()
+                );
+            }
             return true;
         }
         false

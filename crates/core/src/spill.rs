@@ -2,9 +2,9 @@
 //! (Section 3.2.3 of the paper).
 
 use crate::scheduler::SchedState;
+use ddg::collections::HashMap;
 use ddg::lifetime::{LifetimeInterval, Pressure};
 use ddg::{MemAccess, NodeId, NodeOrigin, OperationData, ValueId};
-use std::collections::HashMap;
 use vliw::{ClusterId, Opcode};
 
 /// Array-symbol namespace reserved for spill locations (far above anything a
@@ -58,9 +58,16 @@ impl SchedState<'_> {
                 }
                 continue;
             }
-            let Some(producer) = data.producer else { continue };
-            let Some(def_cycle) = self.sched.cycle_of(producer) else { continue };
-            let cluster = self.sched.cluster_of(producer).expect("scheduled node has a cluster");
+            let Some(producer) = data.producer else {
+                continue;
+            };
+            let Some(def_cycle) = self.sched.cycle_of(producer) else {
+                continue;
+            };
+            let cluster = self
+                .sched
+                .cluster_of(producer)
+                .expect("scheduled node has a cluster");
             let mut end = def_cycle;
             for e in self.graph.out_edges(producer) {
                 let edge = self.graph.edge(e);
@@ -134,8 +141,17 @@ impl SchedState<'_> {
                 // rather than giving up on the II (the paper's MSG filter
                 // assumes there is always a long-enough lifetime; synthetic
                 // wide loops can violate that).
-                let min_span = if finishing { 1 } else { self.opts.min_span_gauge };
-                match self.select_spill_candidate(cluster, critical, &intervals[cluster.index()], min_span) {
+                let min_span = if finishing {
+                    1
+                } else {
+                    self.opts.min_span_gauge
+                };
+                match self.select_spill_candidate(
+                    cluster,
+                    critical,
+                    &intervals[cluster.index()],
+                    min_span,
+                ) {
                     Some(cand) => {
                         inserted_nodes += self.insert_spill(&cand);
                     }
@@ -208,12 +224,17 @@ impl SchedState<'_> {
             }
             let v = interval.value;
             let data = self.graph.value(v);
-            let Some(producer) = data.producer else { continue };
+            let Some(producer) = data.producer else {
+                continue;
+            };
             // Values produced by spill loads are not spilled again.
             if matches!(self.graph.op(producer).origin, NodeOrigin::SpillLoad { .. }) {
                 continue;
             }
-            let def_cycle = self.sched.cycle_of(producer).expect("interval producer scheduled");
+            let def_cycle = self
+                .sched
+                .cycle_of(producer)
+                .expect("interval producer scheduled");
             let producer_latency = i64::from(self.graph.op(producer).latency(lat));
             let already_stored = self.existing_spill_store(v).is_some();
             // Consider every scheduled consumer as the end of a use section.
@@ -227,7 +248,11 @@ impl SchedState<'_> {
                     continue;
                 }
                 if let Some(uc) = self.sched.cycle_of(edge.to) {
-                    uses.push((edge.to, uc + i64::from(ii) * i64::from(edge.distance), edge.distance));
+                    uses.push((
+                        edge.to,
+                        uc + i64::from(ii) * i64::from(edge.distance),
+                        edge.distance,
+                    ));
                 }
             }
             uses.sort_by_key(|&(_, c, _)| c);
@@ -372,11 +397,8 @@ impl SchedState<'_> {
     fn eject_from_critical_cycle(&mut self, cluster: ClusterId, critical_cycle: u32) {
         let ii = i64::from(self.sched.ii());
         let mut candidates: Vec<(u64, NodeId)> = Vec::new();
-        let placements: HashMap<NodeId, (i64, ClusterId)> = self
-            .sched
-            .iter()
-            .map(|(n, c, cl)| (n, (c, cl)))
-            .collect();
+        let placements: HashMap<NodeId, (i64, ClusterId)> =
+            self.sched.iter().map(|(n, c, cl)| (n, (c, cl))).collect();
         for (n, (cycle, cl)) in placements {
             if cl != cluster {
                 continue;

@@ -35,9 +35,30 @@ fn stencil3() -> Loop {
     let c1 = b.invariant("c1");
     let c2 = b.invariant("c2");
     let sym = b.array("x");
-    let xm = b.load_with("x", ddg::MemAccess { array: sym, offset: -8, stride: 8 });
-    let x0 = b.load_with("x", ddg::MemAccess { array: sym, offset: 0, stride: 8 });
-    let xp = b.load_with("x", ddg::MemAccess { array: sym, offset: 8, stride: 8 });
+    let xm = b.load_with(
+        "x",
+        ddg::MemAccess {
+            array: sym,
+            offset: -8,
+            stride: 8,
+        },
+    );
+    let x0 = b.load_with(
+        "x",
+        ddg::MemAccess {
+            array: sym,
+            offset: 0,
+            stride: 8,
+        },
+    );
+    let xp = b.load_with(
+        "x",
+        ddg::MemAccess {
+            array: sym,
+            offset: 8,
+            stride: 8,
+        },
+    );
     let t0 = b.op(Opcode::FpMul, &[c0, xm]);
     let t1 = b.op(Opcode::FpMul, &[c1, x0]);
     let t2 = b.op(Opcode::FpMul, &[c2, xp]);
@@ -95,7 +116,11 @@ fn all_loops() -> Vec<Loop> {
     ]
 }
 
-fn schedule_and_validate(lp: &Loop, machine: &MachineConfig, opts: SchedulerOptions) -> mirs::ScheduleResult {
+fn schedule_and_validate(
+    lp: &Loop,
+    machine: &MachineConfig,
+    opts: SchedulerOptions,
+) -> mirs::ScheduleResult {
     let sched = MirsScheduler::new(machine, opts);
     let result = sched
         .schedule(lp)
@@ -151,7 +176,10 @@ fn dot_product_ii_is_bounded_by_its_recurrence() {
     let r = schedule_and_validate(&lp, &machine, SchedulerOptions::default());
     // The accumulation recurrence imposes RecMII = 4 (fadd latency).
     assert!(r.ii >= 4);
-    assert!(r.ii <= 8, "a simple dot product should stay close to its MII");
+    assert!(
+        r.ii <= 8,
+        "a simple dot product should stay close to its MII"
+    );
 }
 
 #[test]
@@ -161,7 +189,11 @@ fn daxpy_achieves_mii_on_wide_unified_machine() {
     let lat = machine.latencies();
     let bounds = mii::mii(&lp.graph, lat, 8, 4);
     let r = schedule_and_validate(&lp, &machine, SchedulerOptions::default());
-    assert_eq!(r.ii, bounds.mii(), "daxpy is trivially schedulable at its MII");
+    assert_eq!(
+        r.ii,
+        bounds.mii(),
+        "daxpy is trivially schedulable at its MII"
+    );
 }
 
 #[test]
@@ -308,5 +340,8 @@ fn scheduling_statistics_are_consistent() {
         r.graph.count_ops(|o| o == Opcode::SpillStore) as u32
     );
     assert!(r.stats.scheduling_seconds >= 0.0);
-    assert_eq!(r.memory_traffic, r.graph.count_ops(|o| o.is_memory()) as u32);
+    assert_eq!(
+        r.memory_traffic,
+        r.graph.count_ops(|o| o.is_memory()) as u32
+    );
 }

@@ -1,9 +1,9 @@
 //! Convenient construction of loop dependence graphs.
 
+use crate::collections::HashMap;
 use crate::graph::{DepEdge, DepGraph, DepKind, OperationData};
 use crate::ids::{NodeId, ValueId};
 use crate::loop_ir::{Loop, MemAccess};
-use std::collections::HashMap;
 use vliw::Opcode;
 
 /// Builder for [`Loop`]s.
@@ -42,7 +42,7 @@ impl LoopBuilder {
         Self {
             name: name.into(),
             graph: DepGraph::new(),
-            arrays: HashMap::new(),
+            arrays: HashMap::default(),
             open_recurrences: Vec::new(),
         }
     }
@@ -85,7 +85,10 @@ impl LoopBuilder {
     /// Panics if `rec` was not declared with [`LoopBuilder::recurrence`], or
     /// if `producer_of` has no defining node, or if `distance == 0`.
     pub fn close_recurrence(&mut self, rec: ValueId, producer_of: ValueId, distance: u32) {
-        assert!(distance > 0, "a recurrence needs a positive iteration distance");
+        assert!(
+            distance > 0,
+            "a recurrence needs a positive iteration distance"
+        );
         let pos = self
             .open_recurrences
             .iter()

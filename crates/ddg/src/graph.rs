@@ -329,7 +329,11 @@ impl DepGraph {
     ///
     /// Panics if either endpoint is not a live node.
     pub fn add_edge(&mut self, edge: DepEdge) -> EdgeId {
-        assert!(self.is_live(edge.from), "edge source {} not live", edge.from);
+        assert!(
+            self.is_live(edge.from),
+            "edge source {} not live",
+            edge.from
+        );
         assert!(self.is_live(edge.to), "edge target {} not live", edge.to);
         let id = EdgeId(u32::try_from(self.edges.len()).expect("too many edges"));
         self.succ[edge.from.index()].push(id);

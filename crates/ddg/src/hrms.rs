@@ -19,10 +19,10 @@
 //! each set by walking outwards from the already-ordered nodes, preferring
 //! deeper nodes (longest-path height) so the critical path is not delayed.
 
+use crate::collections::{HashMap, HashSet};
 use crate::graph::DepGraph;
 use crate::ids::NodeId;
 use crate::recurrence::recurrences;
-use std::collections::{HashMap, HashSet};
 use vliw::LatencyModel;
 
 /// Compute the HRMS-style priority order of all live nodes.
@@ -38,7 +38,7 @@ pub fn hrms_order(g: &DepGraph, lat: &LatencyModel) -> Vec<NodeId> {
     let recs = recurrences(g, lat);
 
     let mut ordered: Vec<NodeId> = Vec::with_capacity(nodes.len());
-    let mut placed: HashSet<NodeId> = HashSet::new();
+    let mut placed: HashSet<NodeId> = HashSet::default();
 
     for rec in &recs {
         let mut set: HashSet<NodeId> = rec
@@ -113,7 +113,9 @@ fn path_nodes(g: &DepGraph, a: &HashSet<NodeId>, b: &HashSet<NodeId>) -> Vec<Nod
     let up_a = reach(g, a, false);
     g.node_ids()
         .filter(|n| !a.contains(n) && !b.contains(n))
-        .filter(|n| (down_a.contains(n) && up_b.contains(n)) || (down_b.contains(n) && up_a.contains(n)))
+        .filter(|n| {
+            (down_a.contains(n) && up_b.contains(n)) || (down_b.contains(n) && up_a.contains(n))
+        })
         .collect()
 }
 
@@ -151,7 +153,11 @@ fn order_set(
     ordered: &mut Vec<NodeId>,
     placed: &mut HashSet<NodeId>,
 ) {
-    let mut remaining: HashSet<NodeId> = set.iter().copied().filter(|n| !placed.contains(n)).collect();
+    let mut remaining: HashSet<NodeId> = set
+        .iter()
+        .copied()
+        .filter(|n| !placed.contains(n))
+        .collect();
     while !remaining.is_empty() {
         let mut best: Option<(NodeId, (i64, i64))> = None;
         for &n in &remaining {
@@ -191,7 +197,7 @@ fn order_set(
 #[must_use]
 pub fn ordering_violations(g: &DepGraph, lat: &LatencyModel, order: &[NodeId]) -> Vec<NodeId> {
     let in_rec = crate::recurrence::nodes_in_recurrences(g, lat);
-    let mut placed: HashSet<NodeId> = HashSet::new();
+    let mut placed: HashSet<NodeId> = HashSet::default();
     let mut bad = Vec::new();
     for &n in order {
         if !in_rec.contains(&n) {
@@ -320,6 +326,9 @@ mod tests {
             .find(|&n| lp.graph.op(n).opcode == Opcode::FpAdd)
             .unwrap();
         let pos = |n| order.iter().position(|&m| m == n).unwrap();
-        assert!(pos(div) < pos(add), "RecMII 17 recurrence before RecMII 4 one");
+        assert!(
+            pos(div) < pos(add),
+            "RecMII 17 recurrence before RecMII 4 one"
+        );
     }
 }

@@ -8,9 +8,7 @@ use std::fmt;
 /// Node ids are stable for the lifetime of the graph: removing a node does
 /// not shift the ids of other nodes, so the scheduler can keep references to
 /// nodes across spill insertion and move removal.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct NodeId(pub u32);
 
 impl NodeId {
@@ -28,9 +26,7 @@ impl fmt::Display for NodeId {
 }
 
 /// Identifier of a value (virtual register) in a [`DepGraph`](crate::DepGraph).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct ValueId(pub u32);
 
 impl ValueId {

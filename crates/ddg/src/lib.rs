@@ -48,6 +48,7 @@
 #![warn(missing_docs)]
 
 mod builder;
+pub mod collections;
 mod graph;
 pub mod hrms;
 mod ids;

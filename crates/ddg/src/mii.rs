@@ -9,10 +9,10 @@
 //! `MII = max(ResMII, RecMII)` is the starting II of both the MIRS-C
 //! scheduler and the non-iterative baseline.
 
+use crate::collections::HashSet;
 use crate::graph::DepGraph;
 use crate::recurrence::has_positive_cycle_restricted;
 use serde::{Deserialize, Serialize};
-use std::collections::HashSet;
 use vliw::{LatencyModel, OpClass};
 
 /// The initiation-interval lower bounds of a loop on a machine with
@@ -67,7 +67,7 @@ pub fn rec_mii(g: &DepGraph, lat: &LatencyModel) -> u32 {
     if g.is_empty() {
         return 1;
     }
-    let empty: HashSet<crate::NodeId> = HashSet::new();
+    let empty: HashSet<crate::NodeId> = HashSet::default();
     let upper = g.latency_sum(lat).max(1);
     let mut lo = 1u64;
     let mut hi = upper;

@@ -4,9 +4,9 @@
 //! the HRMS node ordering (recurrences are scheduled first) and selective
 //! binding prefetching (loads inside recurrences keep the hit latency).
 
+use crate::collections::HashMap;
 use crate::graph::DepGraph;
 use crate::ids::NodeId;
-use std::collections::HashMap;
 use vliw::LatencyModel;
 
 /// A strongly connected component with more than one node, or a single node
@@ -97,9 +97,9 @@ pub fn strongly_connected_components(g: &DepGraph) -> Vec<Vec<NodeId>> {
 
     let mut t = Tarjan {
         g,
-        index: HashMap::new(),
-        lowlink: HashMap::new(),
-        on_stack: HashMap::new(),
+        index: HashMap::default(),
+        lowlink: HashMap::default(),
+        on_stack: HashMap::default(),
         stack: Vec::new(),
         next_index: 0,
         sccs: Vec::new(),
@@ -128,7 +128,7 @@ pub fn rec_mii_of(g: &DepGraph, nodes: &[NodeId], lat: &LatencyModel) -> u32 {
     let upper = g.latency_sum(lat).max(1);
     let mut lo = 1u64;
     let mut hi = upper;
-    let member: std::collections::HashSet<NodeId> = nodes.iter().copied().collect();
+    let member: crate::collections::HashSet<NodeId> = nodes.iter().copied().collect();
     while lo < hi {
         let mid = (lo + hi) / 2;
         if has_positive_cycle_restricted(g, &member, lat, mid as i64) {
@@ -145,7 +145,7 @@ pub fn rec_mii_of(g: &DepGraph, nodes: &[NodeId], lat: &LatencyModel) -> u32 {
 /// interval `ii` (edge weight `latency − ii · distance`).
 pub(crate) fn has_positive_cycle_restricted(
     g: &DepGraph,
-    member: &std::collections::HashSet<NodeId>,
+    member: &crate::collections::HashSet<NodeId>,
     lat: &LatencyModel,
     ii: i64,
 ) -> bool {
@@ -197,22 +197,26 @@ pub(crate) fn has_positive_cycle_restricted(
 pub fn recurrences(g: &DepGraph, lat: &LatencyModel) -> Vec<Recurrence> {
     let mut recs: Vec<Recurrence> = strongly_connected_components(g)
         .into_iter()
-        .filter(|scc| {
-            scc.len() > 1
-                || g.out_edges(scc[0]).iter().any(|&e| g.edge(e).to == scc[0])
-        })
+        .filter(|scc| scc.len() > 1 || g.out_edges(scc[0]).iter().any(|&e| g.edge(e).to == scc[0]))
         .map(|nodes| {
             let rec_mii = rec_mii_of(g, &nodes, lat);
             Recurrence { nodes, rec_mii }
         })
         .collect();
-    recs.sort_by(|a, b| b.rec_mii.cmp(&a.rec_mii).then(a.nodes.len().cmp(&b.nodes.len())));
+    recs.sort_by(|a, b| {
+        b.rec_mii
+            .cmp(&a.rec_mii)
+            .then(a.nodes.len().cmp(&b.nodes.len()))
+    });
     recs
 }
 
 /// Nodes that belong to some recurrence circuit.
 #[must_use]
-pub fn nodes_in_recurrences(g: &DepGraph, lat: &LatencyModel) -> std::collections::HashSet<NodeId> {
+pub fn nodes_in_recurrences(
+    g: &DepGraph,
+    lat: &LatencyModel,
+) -> crate::collections::HashSet<NodeId> {
     recurrences(g, lat)
         .into_iter()
         .flat_map(|r| r.nodes)

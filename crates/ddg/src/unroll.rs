@@ -7,10 +7,10 @@
 //! times, renames values per copy, redirects loop-carried dependences to the
 //! appropriate copy and divides the trip count by `U`.
 
+use crate::collections::HashMap;
 use crate::graph::{DepEdge, DepGraph, OperationData};
 use crate::ids::{NodeId, ValueId};
 use crate::loop_ir::Loop;
-use std::collections::HashMap;
 
 /// Unroll `lp` by `factor`.
 ///
@@ -35,7 +35,7 @@ pub fn unroll(lp: &Loop, factor: u32) -> Loop {
     let mut out = DepGraph::new();
 
     // Invariants are shared between copies; variant values get one clone per copy.
-    let mut value_map: HashMap<(ValueId, u32), ValueId> = HashMap::new();
+    let mut value_map: HashMap<(ValueId, u32), ValueId> = HashMap::default();
     for v in g.value_ids() {
         let data = g.value(v);
         if data.invariant {
@@ -53,17 +53,19 @@ pub fn unroll(lp: &Loop, factor: u32) -> Loop {
 
     // Consumption distance of each (consumer node, value) pair, taken from
     // the flow edge that carries the value (0 if none, e.g. invariants).
-    let mut consume_distance: HashMap<(NodeId, ValueId), u32> = HashMap::new();
+    let mut consume_distance: HashMap<(NodeId, ValueId), u32> = HashMap::default();
     for e in g.edge_ids() {
         let edge = g.edge(e);
         if let Some(val) = edge.value {
-            let entry = consume_distance.entry((edge.to, val)).or_insert(edge.distance);
+            let entry = consume_distance
+                .entry((edge.to, val))
+                .or_insert(edge.distance);
             *entry = (*entry).min(edge.distance);
         }
     }
 
     // Clone nodes.
-    let mut node_map: HashMap<(NodeId, u32), NodeId> = HashMap::new();
+    let mut node_map: HashMap<(NodeId, u32), NodeId> = HashMap::default();
     for n in g.node_ids() {
         let op = g.op(n);
         for j in 0..u {
@@ -76,7 +78,8 @@ pub fn unroll(lp: &Loop, factor: u32) -> Loop {
                         value_map[&(s, 0)]
                     } else {
                         let d = consume_distance.get(&(n, s)).copied().unwrap_or(0);
-                        let src_copy = (i64::from(j) - i64::from(d)).rem_euclid(i64::from(u)) as u32;
+                        let src_copy =
+                            (i64::from(j) - i64::from(d)).rem_euclid(i64::from(u)) as u32;
                         value_map[&(s, src_copy)]
                     }
                 })
@@ -118,7 +121,11 @@ pub fn unroll(lp: &Loop, factor: u32) -> Loop {
         }
     }
 
-    let mut result = Loop::new(format!("{}.x{u}", lp.name), out, lp.trip_count / u64::from(u));
+    let mut result = Loop::new(
+        format!("{}.x{u}", lp.name),
+        out,
+        lp.trip_count / u64::from(u),
+    );
     result.weight = lp.weight;
     result
 }
@@ -132,7 +139,9 @@ pub fn saturation_factor(body_size: usize, target_ops: usize, max_factor: u32) -
         return 1;
     }
     let needed = target_ops.div_ceil(body_size);
-    u32::try_from(needed).unwrap_or(max_factor).clamp(1, max_factor)
+    u32::try_from(needed)
+        .unwrap_or(max_factor)
+        .clamp(1, max_factor)
 }
 
 #[cfg(test)]

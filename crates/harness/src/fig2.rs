@@ -53,7 +53,11 @@ pub fn run(hw: &HwModel) -> Fig2 {
 impl fmt::Display for Fig2 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "Figure 2: register-file cycle time / area / power")?;
-        writeln!(f, "{:<20} {:>12} {:>12} {:>12}", "config", "cycle[ps]", "area", "power")?;
+        writeln!(
+            f,
+            "{:<20} {:>12} {:>12} {:>12}",
+            "config", "cycle[ps]", "area", "power"
+        )?;
         for r in &self.rows {
             writeln!(
                 f,

@@ -47,7 +47,8 @@ pub fn run(wb: &Workbench, hw: &HwModel) -> Fig5 {
                     .move_latency(lm)
                     .build()
                     .expect("valid config");
-                let summary = run_workbench(&wb, &mc, SchedulerKind::MirsC, PrefetchPolicy::HitLatency);
+                let summary =
+                    run_workbench(wb, &mc, SchedulerKind::MirsC, PrefetchPolicy::HitLatency);
                 let cycles = summary.weighted_execution_cycles();
                 let cycle_time = hw.cycle_time_ps(&mc);
                 rows.push(Fig5Row {
@@ -107,7 +108,10 @@ mod tests {
 
     #[test]
     fn sweep_covers_24_design_points_and_clustering_wins_on_time() {
-        let wb = Workbench::generate(&WorkbenchParams { loops: 4, ..Default::default() });
+        let wb = Workbench::generate(&WorkbenchParams {
+            loops: 4,
+            ..Default::default()
+        });
         let fig = run(&wb, &HwModel::default());
         assert_eq!(fig.rows.len(), 24);
         // Clustered configurations take at least as many cycles as the

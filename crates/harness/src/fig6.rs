@@ -57,14 +57,21 @@ pub fn run(wb: &Workbench, max_clusters: u32) -> Fig6 {
 
 impl fmt::Display for Fig6 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Figure 6: scalability with clusters and buses (GP2M1-REG32 elements)")?;
+        writeln!(
+            f,
+            "Figure 6: scalability with clusters and buses (GP2M1-REG32 elements)"
+        )?;
         writeln!(
             f,
             "{:>5} {:>2} {:>16} {:>10} {:>10}",
             "buses", "k", "exec cycles", "relative", "moves"
         )?;
         for r in &self.rows {
-            let buses = if r.buses == u32::MAX { "inf".to_string() } else { r.buses.to_string() };
+            let buses = if r.buses == u32::MAX {
+                "inf".to_string()
+            } else {
+                r.buses.to_string()
+            };
             writeln!(
                 f,
                 "{:>5} {:>2} {:>16.0} {:>10.3} {:>10}",
@@ -82,7 +89,10 @@ mod tests {
 
     #[test]
     fn more_clusters_never_reduce_capability_with_enough_buses() {
-        let wb = Workbench::generate(&WorkbenchParams { loops: 4, ..Default::default() });
+        let wb = Workbench::generate(&WorkbenchParams {
+            loops: 4,
+            ..Default::default()
+        });
         let fig = run(&wb, 4);
         assert_eq!(fig.rows.len(), 16);
         // With an unbounded interconnect, adding clusters adds resources, so

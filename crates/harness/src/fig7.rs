@@ -88,9 +88,9 @@ impl Fig7 {
     /// Row lookup.
     #[must_use]
     pub fn row(&self, clusters: u32, registers: u32, prefetching: bool) -> Option<&Fig7Row> {
-        self.rows
-            .iter()
-            .find(|r| r.clusters == clusters && r.registers == registers && r.prefetching == prefetching)
+        self.rows.iter().find(|r| {
+            r.clusters == clusters && r.registers == registers && r.prefetching == prefetching
+        })
     }
 }
 
@@ -125,7 +125,10 @@ mod tests {
 
     #[test]
     fn prefetching_reduces_stall_cycles() {
-        let wb = Workbench::generate(&WorkbenchParams { loops: 4, ..Default::default() });
+        let wb = Workbench::generate(&WorkbenchParams {
+            loops: 4,
+            ..Default::default()
+        });
         let fig = run(&wb, &HwModel::default());
         assert_eq!(fig.rows.len(), 12);
         for &(k, z) in &paper_configs() {

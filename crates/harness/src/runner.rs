@@ -140,7 +140,12 @@ pub fn schedule_loop(
     prefetch: PrefetchPolicy,
 ) -> LoopOutcome {
     let lat = machine.latencies();
-    let bounds = ddg::mii::mii(&lp.graph, lat, machine.total_gp_units(), machine.total_mem_ports());
+    let bounds = ddg::mii::mii(
+        &lp.graph,
+        lat,
+        machine.total_gp_units(),
+        machine.total_mem_ports(),
+    );
     let started = std::time::Instant::now();
     let result = match kind {
         SchedulerKind::MirsC => {
@@ -152,7 +157,9 @@ pub fn schedule_loop(
                 prefetch,
                 ..BaselineOptions::default()
             };
-            BaselineScheduler::with_options(machine, opts).schedule(lp).ok()
+            BaselineScheduler::with_options(machine, opts)
+                .schedule(lp)
+                .ok()
         }
     };
     let scheduling_seconds = started.elapsed().as_secs_f64();
@@ -205,7 +212,12 @@ mod tests {
     fn run_workbench_covers_every_loop() {
         let wb = small_wb();
         let machine = MachineConfig::paper_config(2, 64).unwrap();
-        let s = run_workbench(&wb, &machine, SchedulerKind::MirsC, PrefetchPolicy::HitLatency);
+        let s = run_workbench(
+            &wb,
+            &machine,
+            SchedulerKind::MirsC,
+            PrefetchPolicy::HitLatency,
+        );
         assert_eq!(s.outcomes.len(), wb.loops().len());
         assert_eq!(s.not_converged(), 0, "MIRS-C converges on the workbench");
         assert!(s.weighted_execution_cycles() > 0.0);
@@ -216,8 +228,18 @@ mod tests {
     fn mirs_ii_is_never_worse_than_baseline_with_unbounded_registers() {
         let wb = small_wb();
         let machine = MachineConfig::paper_config_unbounded(2).unwrap();
-        let m = run_workbench(&wb, &machine, SchedulerKind::MirsC, PrefetchPolicy::HitLatency);
-        let b = run_workbench(&wb, &machine, SchedulerKind::Baseline, PrefetchPolicy::HitLatency);
+        let m = run_workbench(
+            &wb,
+            &machine,
+            SchedulerKind::MirsC,
+            PrefetchPolicy::HitLatency,
+        );
+        let b = run_workbench(
+            &wb,
+            &machine,
+            SchedulerKind::Baseline,
+            PrefetchPolicy::HitLatency,
+        );
         for (mo, bo) in m.outcomes.iter().zip(&b.outcomes) {
             if let (Some(mi), Some(bi)) = (mo.ii, bo.ii) {
                 assert!(mi <= bi, "{}: MIRS-C II {mi} vs baseline {bi}", mo.name);
@@ -229,7 +251,12 @@ mod tests {
     fn outcome_helpers_are_consistent() {
         let wb = small_wb();
         let machine = MachineConfig::paper_config(1, 64).unwrap();
-        let s = run_workbench(&wb, &machine, SchedulerKind::MirsC, PrefetchPolicy::HitLatency);
+        let s = run_workbench(
+            &wb,
+            &machine,
+            SchedulerKind::MirsC,
+            PrefetchPolicy::HitLatency,
+        );
         for o in &s.outcomes {
             assert!(o.converged());
             assert!(o.ii.unwrap() >= 1);

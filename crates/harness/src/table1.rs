@@ -133,7 +133,10 @@ mod tests {
 
     #[test]
     fn mirs_never_loses_on_sum_ii() {
-        let wb = Workbench::generate(&WorkbenchParams { loops: 5, ..Default::default() });
+        let wb = Workbench::generate(&WorkbenchParams {
+            loops: 5,
+            ..Default::default()
+        });
         let t = run(&wb);
         assert_eq!(t.rows.len(), 6);
         for r in &t.rows {

@@ -101,7 +101,15 @@ impl fmt::Display for Table2 {
         writeln!(
             f,
             "{:>2} {:>3} | {:>8} {:>8} | {:>9} | {:>8} {:>8} | {:>8} {:>8}",
-            "k", "lm", "NotCnvr", "MIRS-NC", "different", "[31] II", "[31] trf", "MIRS II", "MIRS trf"
+            "k",
+            "lm",
+            "NotCnvr",
+            "MIRS-NC",
+            "different",
+            "[31] II",
+            "[31] trf",
+            "MIRS II",
+            "MIRS trf"
         )?;
         for r in &self.rows {
             writeln!(
@@ -129,7 +137,10 @@ mod tests {
 
     #[test]
     fn mirs_always_converges_and_never_loses_on_ii() {
-        let wb = Workbench::generate(&WorkbenchParams { loops: 5, ..Default::default() });
+        let wb = Workbench::generate(&WorkbenchParams {
+            loops: 5,
+            ..Default::default()
+        });
         let t = run(&wb);
         assert_eq!(t.rows.len(), 6);
         for r in &t.rows {

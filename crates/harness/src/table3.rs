@@ -117,7 +117,10 @@ mod tests {
 
     #[test]
     fn table_has_all_configurations_and_positive_times() {
-        let wb = Workbench::generate(&WorkbenchParams { loops: 3, ..Default::default() });
+        let wb = Workbench::generate(&WorkbenchParams {
+            loops: 3,
+            ..Default::default()
+        });
         let t = run(&wb);
         assert_eq!(t.rows.len(), 12);
         for r in &t.rows {

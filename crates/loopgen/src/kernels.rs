@@ -53,9 +53,30 @@ pub fn stencil3(trip: u64) -> Loop {
     let c1 = b.invariant("c1");
     let c2 = b.invariant("c2");
     let sym = b.array("x");
-    let xm = b.load_with("x", MemAccess { array: sym, offset: -8, stride: 8 });
-    let x0 = b.load_with("x", MemAccess { array: sym, offset: 0, stride: 8 });
-    let xp = b.load_with("x", MemAccess { array: sym, offset: 8, stride: 8 });
+    let xm = b.load_with(
+        "x",
+        MemAccess {
+            array: sym,
+            offset: -8,
+            stride: 8,
+        },
+    );
+    let x0 = b.load_with(
+        "x",
+        MemAccess {
+            array: sym,
+            offset: 0,
+            stride: 8,
+        },
+    );
+    let xp = b.load_with(
+        "x",
+        MemAccess {
+            array: sym,
+            offset: 8,
+            stride: 8,
+        },
+    );
     let t0 = b.op(Opcode::FpMul, &[c0, xm]);
     let t1 = b.op(Opcode::FpMul, &[c1, x0]);
     let t2 = b.op(Opcode::FpMul, &[c2, xp]);
@@ -72,11 +93,46 @@ pub fn stencil5(trip: u64) -> Loop {
     let c = b.invariant("c");
     let sym = b.array("x");
     let row = b.array("r");
-    let x0 = b.load_with("x", MemAccess { array: sym, offset: -16, stride: 8 });
-    let x1 = b.load_with("x", MemAccess { array: sym, offset: -8, stride: 8 });
-    let x2 = b.load_with("x", MemAccess { array: sym, offset: 0, stride: 8 });
-    let x3 = b.load_with("x", MemAccess { array: sym, offset: 8, stride: 8 });
-    let x4 = b.load_with("x", MemAccess { array: row, offset: 0, stride: 8 });
+    let x0 = b.load_with(
+        "x",
+        MemAccess {
+            array: sym,
+            offset: -16,
+            stride: 8,
+        },
+    );
+    let x1 = b.load_with(
+        "x",
+        MemAccess {
+            array: sym,
+            offset: -8,
+            stride: 8,
+        },
+    );
+    let x2 = b.load_with(
+        "x",
+        MemAccess {
+            array: sym,
+            offset: 0,
+            stride: 8,
+        },
+    );
+    let x3 = b.load_with(
+        "x",
+        MemAccess {
+            array: sym,
+            offset: 8,
+            stride: 8,
+        },
+    );
+    let x4 = b.load_with(
+        "x",
+        MemAccess {
+            array: row,
+            offset: 0,
+            stride: 8,
+        },
+    );
     let a0 = b.op(Opcode::FpAdd, &[x0, x1]);
     let a1 = b.op(Opcode::FpAdd, &[x2, x3]);
     let a2 = b.op(Opcode::FpAdd, &[a0, a1]);
@@ -175,7 +231,14 @@ pub fn complex_mac(trip: u64) -> Loop {
 pub fn matvec_row(trip: u64) -> Loop {
     let mut b = LoopBuilder::new("matvec_row");
     let sym = b.array("mat");
-    let m = b.load_with("mat", MemAccess { array: sym, offset: 0, stride: 512 });
+    let m = b.load_with(
+        "mat",
+        MemAccess {
+            array: sym,
+            offset: 0,
+            stride: 512,
+        },
+    );
     let v = b.load("vec");
     let p = b.op(Opcode::FpMul, &[m, v]);
     let s = b.recurrence("s");
@@ -236,7 +299,14 @@ pub fn gather_scale(trip: u64) -> Loop {
     let idx = b.load("index");
     let addr = b.op(Opcode::IntAlu, &[idx]);
     let sym = b.array("table");
-    let val = b.load_with("table", MemAccess { array: sym, offset: 0, stride: 24 });
+    let val = b.load_with(
+        "table",
+        MemAccess {
+            array: sym,
+            offset: 0,
+            stride: 24,
+        },
+    );
     let n = b.producer_of(val).unwrap();
     let a = b.producer_of(addr).unwrap();
     b.control_dep(a, n, 0); // the gather cannot issue before its index

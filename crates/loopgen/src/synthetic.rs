@@ -94,9 +94,20 @@ pub fn generate(params: &SyntheticParams, seed: u64) -> Loop {
     }
     for i in 0..params.input_streams {
         // Mix unit-stride and strided streams, as numerical codes do.
-        let stride = if rng.random_bool(0.75) { 8 } else { 8 * rng.random_range(2..32) };
+        let stride = if rng.random_bool(0.75) {
+            8
+        } else {
+            8 * rng.random_range(2i64..32)
+        };
         let sym = b.array(&format!("in{i}"));
-        pool.push(b.load_with(&format!("in{i}"), MemAccess { array: sym, offset: 0, stride }));
+        pool.push(b.load_with(
+            &format!("in{i}"),
+            MemAccess {
+                array: sym,
+                offset: 0,
+                stride,
+            },
+        ));
     }
 
     // Recurrence values participate in the expression pool so the circuits

@@ -96,7 +96,7 @@ impl Workbench {
             } else {
                 0.0
             };
-            let arith = rng.random_range(4..36);
+            let arith: usize = rng.random_range(4..36);
             let streams = rng.random_range(1..=((arith / 3).max(1)));
             let sp = SyntheticParams {
                 arith_ops: arith,
@@ -152,7 +152,8 @@ impl Workbench {
 
 /// Unroll a loop until its body has at least `saturation_ops` operations.
 fn saturate(lp: Loop, params: &WorkbenchParams) -> Loop {
-    let factor = unroll::saturation_factor(lp.body_size(), params.saturation_ops, params.max_unroll);
+    let factor =
+        unroll::saturation_factor(lp.body_size(), params.saturation_ops, params.max_unroll);
     if factor > 1 {
         unroll::unroll(&lp, factor)
     } else {
@@ -166,7 +167,10 @@ mod tests {
 
     #[test]
     fn workbench_has_requested_size_and_normalized_weights() {
-        let wb = Workbench::generate(&WorkbenchParams { loops: 50, ..Default::default() });
+        let wb = Workbench::generate(&WorkbenchParams {
+            loops: 50,
+            ..Default::default()
+        });
         assert_eq!(wb.loops().len(), 50);
         let total: f64 = wb.loops().iter().map(|l| l.weight).sum();
         assert!((total - 1.0).abs() < 1e-9);
@@ -187,7 +191,11 @@ mod tests {
 
     #[test]
     fn small_loops_are_unrolled_to_saturation() {
-        let params = WorkbenchParams { loops: 30, saturation_ops: 12, ..Default::default() };
+        let params = WorkbenchParams {
+            loops: 30,
+            saturation_ops: 12,
+            ..Default::default()
+        };
         let wb = Workbench::generate(&params);
         for lp in wb.loops() {
             assert!(
@@ -201,8 +209,16 @@ mod tests {
 
     #[test]
     fn different_seeds_change_the_mix() {
-        let a = Workbench::generate(&WorkbenchParams { loops: 40, seed: 1, ..Default::default() });
-        let b = Workbench::generate(&WorkbenchParams { loops: 40, seed: 2, ..Default::default() });
+        let a = Workbench::generate(&WorkbenchParams {
+            loops: 40,
+            seed: 1,
+            ..Default::default()
+        });
+        let b = Workbench::generate(&WorkbenchParams {
+            loops: 40,
+            seed: 2,
+            ..Default::default()
+        });
         let sizes_a: usize = a.total_operations();
         let sizes_b: usize = b.total_operations();
         assert_ne!(sizes_a, sizes_b);
@@ -215,10 +231,16 @@ mod tests {
 
     #[test]
     fn weights_are_heavy_tailed() {
-        let wb = Workbench::generate(&WorkbenchParams { loops: 100, ..Default::default() });
+        let wb = Workbench::generate(&WorkbenchParams {
+            loops: 100,
+            ..Default::default()
+        });
         let mut ws: Vec<f64> = wb.loops().iter().map(|l| l.weight).collect();
         ws.sort_by(|a, b| b.partial_cmp(a).unwrap());
         let top10: f64 = ws.iter().take(10).sum();
-        assert!(top10 > 0.2, "top 10% of loops should carry a large weight share");
+        assert!(
+            top10 > 0.2,
+            "top 10% of loops should carry a large weight share"
+        );
     }
 }

@@ -71,7 +71,11 @@ impl ExecutionOutcome {
 /// the write buffer. Misses within one iteration overlap up to the number
 /// of MSHRs, as in the paper's lockup-free cache.
 #[must_use]
-pub fn simulate(result: &ScheduleResult, iterations: u64, params: &MemoryParams) -> ExecutionOutcome {
+pub fn simulate(
+    result: &ScheduleResult,
+    iterations: u64,
+    params: &MemoryParams,
+) -> ExecutionOutcome {
     let mut cache = Cache::new(params.cache);
     let miss_penalty = u64::from(params.cache.miss_cycles(params.cycle_time_ps))
         .saturating_sub(u64::from(params.cache.hit_read_cycles));
@@ -168,16 +172,30 @@ mod tests {
         let out = simulate(&r, lp.trip_count, &MemoryParams::default());
         // Sequential doubles miss once per 4 iterations per stream.
         assert!(out.misses > 0);
-        assert!(out.stall_cycles > 0, "hit-scheduled loads must stall on misses");
+        assert!(
+            out.stall_cycles > 0,
+            "hit-scheduled loads must stall on misses"
+        );
     }
 
     #[test]
     fn binding_prefetching_removes_stalls() {
         let lp = streaming_loop();
-        let normal = simulate(&schedule(&lp, false), lp.trip_count, &MemoryParams::default());
-        let prefetched = simulate(&schedule(&lp, true), lp.trip_count, &MemoryParams::default());
+        let normal = simulate(
+            &schedule(&lp, false),
+            lp.trip_count,
+            &MemoryParams::default(),
+        );
+        let prefetched = simulate(
+            &schedule(&lp, true),
+            lp.trip_count,
+            &MemoryParams::default(),
+        );
         assert!(prefetched.stall_cycles < normal.stall_cycles);
-        assert_eq!(prefetched.stall_cycles, 0, "all loads are prefetched in this loop");
+        assert_eq!(
+            prefetched.stall_cycles, 0,
+            "all loads are prefetched in this loop"
+        );
         // Prefetching does not change the number of accesses.
         assert_eq!(prefetched.accesses, normal.accesses);
     }
@@ -197,8 +215,10 @@ mod tests {
     fn extrapolation_scales_counters() {
         let lp = streaming_loop();
         let r = schedule(&lp, false);
-        let mut params = MemoryParams::default();
-        params.max_simulated_iterations = 100;
+        let params = MemoryParams {
+            max_simulated_iterations: 100,
+            ..MemoryParams::default()
+        };
         let short = simulate(&r, 100, &params);
         let long = simulate(&r, 1000, &params);
         assert!(long.accesses >= 9 * short.accesses);
@@ -212,12 +232,18 @@ mod tests {
         let fast = simulate(
             &r,
             lp.trip_count,
-            &MemoryParams { cycle_time_ps: 800.0, ..Default::default() },
+            &MemoryParams {
+                cycle_time_ps: 800.0,
+                ..Default::default()
+            },
         );
         let slow = simulate(
             &r,
             lp.trip_count,
-            &MemoryParams { cycle_time_ps: 2400.0, ..Default::default() },
+            &MemoryParams {
+                cycle_time_ps: 2400.0,
+                ..Default::default()
+            },
         );
         assert!(fast.stall_cycles > slow.stall_cycles);
     }

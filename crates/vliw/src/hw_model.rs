@@ -195,7 +195,10 @@ mod tests {
         let clustered = hw.cycle_time_ps(&cfg(4, 64));
         let unified16 = hw.cycle_time_ps(&cfg(1, 16));
         assert!(clustered < unified16);
-        assert!(clustered > 0.5 * unified16, "should be *slightly* below, not far below");
+        assert!(
+            clustered > 0.5 * unified16,
+            "should be *slightly* below, not far below"
+        );
     }
 
     #[test]

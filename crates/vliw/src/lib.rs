@@ -50,5 +50,5 @@ pub use config::{MachineBuilder, MachineConfig};
 pub use error::ConfigError;
 pub use hw_model::{HwEstimate, HwModel};
 pub use op::{LatencyModel, MemLatency, OpClass, Opcode};
-pub use reservation::{ResourceUse, ReservationTable};
+pub use reservation::{ReservationTable, ResourceUse};
 pub use resource::{ClusterId, ResourceKind};

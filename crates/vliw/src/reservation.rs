@@ -145,15 +145,21 @@ mod tests {
         let rt = ReservationTable::for_op(Opcode::FpDiv, ClusterId(1), &lat);
         assert_eq!(rt.len(), lat.fp_div as usize);
         assert_eq!(rt.span(), lat.fp_div - 1);
-        assert!(rt
-            .iter()
-            .all(|u| u.kind == ResourceKind::GpUnit { cluster: ClusterId(1) }));
+        assert!(rt.iter().all(|u| u.kind
+            == ResourceKind::GpUnit {
+                cluster: ClusterId(1)
+            }));
     }
 
     #[test]
     fn loads_use_memory_ports() {
         let lat = LatencyModel::default();
-        for op in [Opcode::Load, Opcode::Store, Opcode::SpillLoad, Opcode::SpillStore] {
+        for op in [
+            Opcode::Load,
+            Opcode::Store,
+            Opcode::SpillLoad,
+            Opcode::SpillStore,
+        ] {
             let rt = ReservationTable::for_op(op, ClusterId(2), &lat);
             assert_eq!(rt.len(), 1);
             assert_eq!(

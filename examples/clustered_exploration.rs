@@ -11,7 +11,10 @@ fn main() {
     let hw = HwModel::default();
     println!("{}", fig2::run(&hw));
 
-    let wb = Workbench::generate(&WorkbenchParams { loops: 16, ..Default::default() });
+    let wb = Workbench::generate(&WorkbenchParams {
+        loops: 16,
+        ..Default::default()
+    });
     println!(
         "Scheduling a {}-loop workbench on every k/z/lambda_m design point...\n",
         wb.loops().len()
@@ -21,7 +24,9 @@ fn main() {
 
     // The paper's headline: clustered configurations lose a few percent in
     // cycles but win once the shorter cycle time is factored in.
-    if let (Some(uni), Some(two), Some(four)) = (fig.row(1, 64, 1), fig.row(2, 32, 1), fig.row(4, 16, 1)) {
+    if let (Some(uni), Some(two), Some(four)) =
+        (fig.row(1, 64, 1), fig.row(2, 32, 1), fig.row(4, 16, 1))
+    {
         println!("relative to 1-(GP8M4-REG64) with the same 64 total registers:");
         for (label, row) in [("2 clusters", two), ("4 clusters", four)] {
             println!(

@@ -8,7 +8,10 @@ use loopgen::{Workbench, WorkbenchParams};
 use vliw::HwModel;
 
 fn main() {
-    let wb = Workbench::generate(&WorkbenchParams { loops: 12, ..Default::default() });
+    let wb = Workbench::generate(&WorkbenchParams {
+        loops: 12,
+        ..Default::default()
+    });
     let hw = HwModel::default();
     let fig = fig7::run(&wb, &hw);
     println!("{fig}");
@@ -21,7 +24,11 @@ fn main() {
             let saved = normal.stall_cycles - pf.stall_cycles.min(normal.stall_cycles);
             println!(
                 "k={k} z={z}: prefetching removes {:.0}% of stall cycles",
-                if normal.stall_cycles > 0.0 { 100.0 * saved / normal.stall_cycles } else { 0.0 }
+                if normal.stall_cycles > 0.0 {
+                    100.0 * saved / normal.stall_cycles
+                } else {
+                    0.0
+                }
             );
         }
     }

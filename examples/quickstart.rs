@@ -31,11 +31,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("MaxLive       : {:?}", result.max_live);
     println!();
     println!("{:<6} {:>6}  {:<8} operation", "cycle", "", "cluster");
-    let mut rows: Vec<_> = result.placements.iter().map(|(&n, p)| (p.cycle, p.cluster, n)).collect();
+    let mut rows: Vec<_> = result
+        .placements
+        .iter()
+        .map(|(&n, p)| (p.cycle, p.cluster, n))
+        .collect();
     rows.sort();
     for (cycle, cluster, node) in rows {
         let op = result.graph.op(node);
-        println!("{cycle:<6} {:>6}  {cluster:<8} {} ({})", "", op.name, op.opcode);
+        println!(
+            "{cycle:<6} {:>6}  {cluster:<8} {} ({})",
+            "", op.name, op.opcode
+        );
     }
     result.validate(&machine)?;
     println!("\nschedule validated: dependences, resources, locality and registers all hold");

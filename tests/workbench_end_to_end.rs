@@ -8,7 +8,10 @@ use mirs::PrefetchPolicy;
 use vliw::{HwModel, MachineConfig};
 
 fn workbench() -> Workbench {
-    Workbench::generate(&WorkbenchParams { loops: 10, ..Default::default() })
+    Workbench::generate(&WorkbenchParams {
+        loops: 10,
+        ..Default::default()
+    })
 }
 
 #[test]
@@ -16,7 +19,12 @@ fn mirs_schedules_and_validates_the_whole_workbench_on_every_paper_config() {
     let wb = workbench();
     for k in [1u32, 2, 4] {
         let machine = MachineConfig::paper_config(k, 64 / k).unwrap();
-        let summary = run_workbench(&wb, &machine, SchedulerKind::MirsC, PrefetchPolicy::HitLatency);
+        let summary = run_workbench(
+            &wb,
+            &machine,
+            SchedulerKind::MirsC,
+            PrefetchPolicy::HitLatency,
+        );
         assert_eq!(summary.not_converged(), 0, "k={k}");
         for o in &summary.outcomes {
             let r = o.result.as_ref().unwrap();
@@ -35,7 +43,12 @@ fn clustering_costs_cycles_but_wins_execution_time() {
     let mut times = Vec::new();
     for k in [1u32, 2, 4] {
         let machine = MachineConfig::paper_config(k, 64 / k).unwrap();
-        let summary = run_workbench(&wb, &machine, SchedulerKind::MirsC, PrefetchPolicy::HitLatency);
+        let summary = run_workbench(
+            &wb,
+            &machine,
+            SchedulerKind::MirsC,
+            PrefetchPolicy::HitLatency,
+        );
         let c = summary.weighted_execution_cycles();
         cycles.push(c);
         times.push(c * hw.cycle_time_ps(&machine));
@@ -52,18 +65,42 @@ fn clustering_costs_cycles_but_wins_execution_time() {
 fn baseline_and_mirs_agree_on_easy_loops_and_diverge_under_pressure() {
     let wb = workbench();
     let unbounded = MachineConfig::paper_config_unbounded(2).unwrap();
-    let m = run_workbench(&wb, &unbounded, SchedulerKind::MirsC, PrefetchPolicy::HitLatency);
-    let b = run_workbench(&wb, &unbounded, SchedulerKind::Baseline, PrefetchPolicy::HitLatency);
+    let m = run_workbench(
+        &wb,
+        &unbounded,
+        SchedulerKind::MirsC,
+        PrefetchPolicy::HitLatency,
+    );
+    let b = run_workbench(
+        &wb,
+        &unbounded,
+        SchedulerKind::Baseline,
+        PrefetchPolicy::HitLatency,
+    );
     for (mo, bo) in m.outcomes.iter().zip(&b.outcomes) {
         if let (Some(mi), Some(bi)) = (mo.ii, bo.ii) {
-            assert!(mi <= bi, "{}: MIRS-C must not lose with unbounded registers", mo.name);
+            assert!(
+                mi <= bi,
+                "{}: MIRS-C must not lose with unbounded registers",
+                mo.name
+            );
         }
     }
     // Under register constraints MIRS-C keeps converging.
     let constrained = MachineConfig::paper_config(4, 16).unwrap();
-    let mc = run_workbench(&wb, &constrained, SchedulerKind::MirsC, PrefetchPolicy::HitLatency);
+    let mc = run_workbench(
+        &wb,
+        &constrained,
+        SchedulerKind::MirsC,
+        PrefetchPolicy::HitLatency,
+    );
     assert_eq!(mc.not_converged(), 0);
-    let bc = run_workbench(&wb, &constrained, SchedulerKind::Baseline, PrefetchPolicy::HitLatency);
+    let bc = run_workbench(
+        &wb,
+        &constrained,
+        SchedulerKind::Baseline,
+        PrefetchPolicy::HitLatency,
+    );
     assert!(bc.not_converged() >= mc.not_converged());
 }
 
@@ -72,7 +109,12 @@ fn memory_simulation_runs_on_every_scheduled_loop() {
     let wb = workbench();
     let machine = MachineConfig::paper_config(2, 64).unwrap();
     let hw = HwModel::default();
-    let summary = run_workbench(&wb, &machine, SchedulerKind::MirsC, PrefetchPolicy::HitLatency);
+    let summary = run_workbench(
+        &wb,
+        &machine,
+        SchedulerKind::MirsC,
+        PrefetchPolicy::HitLatency,
+    );
     let params = MemoryParams {
         cycle_time_ps: hw.cycle_time_ps(&machine),
         ..MemoryParams::default()
@@ -88,7 +130,12 @@ fn memory_simulation_runs_on_every_scheduled_loop() {
 fn prefetching_never_increases_memory_traffic() {
     let wb = workbench();
     let machine = MachineConfig::paper_config(2, 64).unwrap();
-    let normal = run_workbench(&wb, &machine, SchedulerKind::MirsC, PrefetchPolicy::HitLatency);
+    let normal = run_workbench(
+        &wb,
+        &machine,
+        SchedulerKind::MirsC,
+        PrefetchPolicy::HitLatency,
+    );
     let pf = run_workbench(
         &wb,
         &machine,

@@ -1,0 +1,195 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no route to a crates registry, so this crate
+//! implements the slice of `proptest` the workspace's property tests use:
+//!
+//! * the [`proptest!`] macro (with `#![proptest_config(..)]` support),
+//! * range, tuple and [`collection::vec`] strategies,
+//! * [`prop_assert!`] / [`prop_assert_eq!`],
+//! * the `PROPTEST_CASES` environment variable, which overrides the
+//!   configured case count (used by CI to cap suite runtime).
+//!
+//! Failing inputs are *not* shrunk — the failing case's seed index is
+//! reported instead. Replace the `vendor/` path dependency with the real
+//! crates-io `proptest` when networking is available.
+
+pub mod strategy {
+    //! Value-generation strategies (no shrinking).
+
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// A source of random values of one type, mirroring `proptest::strategy::Strategy`.
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value;
+        /// Draws one value from the strategy.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+}
+
+pub mod collection {
+    //! Strategies for collections.
+
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Strategy producing `Vec`s with lengths drawn from a range.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: core::ops::Range<usize>,
+    }
+
+    /// Mirrors `proptest::collection::vec`: a `Vec` of `element` values with a
+    /// length drawn from `len`.
+    pub fn vec<S: Strategy>(element: S, len: core::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            let n = rng.random_range(self.len.clone());
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Case-count configuration and the runner loop used by [`proptest!`].
+
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Mirrors `proptest::test_runner::Config` (only the fields this
+    /// workspace uses).
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of successful cases required for the test to pass. The
+        /// `PROPTEST_CASES` environment variable overrides it at run time.
+        pub cases: u32,
+        /// Accepted for API compatibility with the real crate; this stub
+        /// never shrinks, so the value is unused.
+        pub max_shrink_iters: u32,
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Self {
+                cases: 256,
+                max_shrink_iters: 1024,
+            }
+        }
+    }
+
+    /// Resolves the effective case count: `PROPTEST_CASES` wins over the
+    /// configured value so CI can cap suite runtime without touching code.
+    pub fn resolved_cases(config: &Config) -> u32 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(config.cases)
+    }
+
+    /// Runs `case` once per resolved case with independently seeded RNGs,
+    /// reporting the failing case index on panic (there is no shrinking).
+    pub fn run<F: FnMut(&mut StdRng)>(config: &Config, mut case: F) {
+        let cases = resolved_cases(config);
+        for i in 0..cases {
+            let mut rng = StdRng::seed_from_u64(0xC0FF_EE00_0000_0000 ^ u64::from(i));
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| case(&mut rng)));
+            if let Err(payload) = outcome {
+                eprintln!("proptest stub: case {i}/{cases} failed (seed index {i}); no shrinking is performed");
+                std::panic::resume_unwind(payload);
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface mirroring `proptest::prelude`.
+
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+/// Mirrors `proptest::prop_assert!`: fails the current case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Mirrors `proptest::prop_assert_eq!`: fails the current case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Mirrors `proptest::proptest!`: each `fn name(pat in strategy, ..) { .. }`
+/// becomes a `#[test]` that draws its arguments per case.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!(($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!(($crate::test_runner::Config::default()) $($rest)*);
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $cfg;
+                $crate::test_runner::run(&config, |__rng| {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), __rng);)+
+                    $body
+                });
+            }
+        )+
+    };
+}

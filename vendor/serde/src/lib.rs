@@ -1,0 +1,20 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no route to a crates registry, so this crate
+//! provides just enough surface for the workspace to compile: the
+//! [`Serialize`] / [`Deserialize`] marker traits and the no-op derive macros
+//! from the sibling `serde_derive` stub (re-exported under the same names,
+//! exactly like the real crate's `derive` feature). Replace the `vendor/`
+//! path dependencies with the real crates-io `serde` when networking is
+//! available; no source change is needed.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`.
+///
+/// The stub derive does not implement it; it exists so that trait bounds
+/// written against `serde` keep compiling.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}

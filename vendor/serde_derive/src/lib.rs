@@ -1,0 +1,21 @@
+//! Offline stand-in for the `serde_derive` proc-macro crate.
+//!
+//! The build environment has no route to a crates registry, so this crate
+//! accepts `#[derive(Serialize, Deserialize)]` (including `#[serde(...)]`
+//! helper attributes) and expands to nothing. Nothing in the workspace
+//! actually serialises values yet — the derives exist so the data types are
+//! ready for the real `serde` the moment a registry becomes reachable.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and expands to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
