@@ -5,8 +5,14 @@ use harness::table3;
 use loopgen::{Workbench, WorkbenchParams};
 
 fn bench(c: &mut Criterion) {
+    // MIRS_TABLE3_LOOPS scales the printed table's workbench so CI smoke
+    // runs stay quick while local runs keep the full default.
+    let loops = std::env::var("MIRS_TABLE3_LOOPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(12);
     let wb = Workbench::generate(&WorkbenchParams {
-        loops: 12,
+        loops,
         ..Default::default()
     });
     let table = table3::run(&wb);

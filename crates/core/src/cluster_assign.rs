@@ -19,6 +19,14 @@ impl SchedState<'_> {
         for cluster in self.machine.cluster_ids() {
             let window = self.window(node, cluster);
             let rt = self.machine.reservation(opcode, cluster);
+            if self.sched.intrinsically_infeasible(&rt) {
+                // This cluster can never execute the operation at the
+                // current II (its table exceeds a capacity all by itself);
+                // on a heterogeneous machine another cluster may still fit.
+                // If every cluster is skipped, `schedule_node` surfaces the
+                // infeasibility and the scheduler raises the II.
+                continue;
+            }
             let has_slot = i64::from(self.find_free_slot(&rt, window).is_some());
             let moves_needed = self.moves_needed(node, cluster) as i64;
             let occupancy = i64::from(match opcode.class() {
@@ -70,12 +78,18 @@ impl SchedState<'_> {
         count
     }
 
-    /// A live move node that already transports `value` into `cluster`, if any.
+    /// A live move node that already transports `value` into `cluster`, if
+    /// any — an O(1) read of the index `create_move`/`remove_move` maintain.
     fn move_of_value_into(&self, value: ValueId, cluster: ClusterId) -> Option<NodeId> {
-        self.graph.node_ids().find(|&n| {
-            matches!(self.graph.op(n).origin, NodeOrigin::Move { value: v } if v == value)
-                && self.move_route.get(&n).map(|&(_, d)| d) == Some(cluster)
-        })
+        let found = self.move_into.get(&(value, cluster)).copied();
+        debug_assert_eq!(
+            found,
+            self.graph.node_ids().find(|&n| {
+                matches!(self.graph.op(n).origin, NodeOrigin::Move { value: v } if v == value)
+                    && self.move_route.get(&n).map(|&(_, d)| d) == Some(cluster)
+            })
+        );
+        found
     }
 
     /// Insert the move operations required to schedule `node` on `cluster`
@@ -164,8 +178,11 @@ impl SchedState<'_> {
         let mv = self.graph.add_node(data);
         self.graph.add_flow(producer, mv, value, 0);
         self.move_route.insert(mv, (src, dst));
+        self.move_into.insert((value, dst), mv);
         self.plist.register_with_anchor(mv, anchor);
         self.stats.moves += 1;
+        self.pressure.mark_value(value);
+        self.pressure.mark_value(copy);
         mv
     }
 
@@ -201,5 +218,9 @@ impl SchedState<'_> {
         if !already {
             self.graph.add_flow(mv, consumer, copy, distance);
         }
+        // `consumer` now reads `copy` instead of `original`: both lifetimes
+        // changed shape.
+        self.pressure.mark_value(original);
+        self.pressure.mark_value(copy);
     }
 }

@@ -51,6 +51,7 @@ mod cluster_assign;
 mod error;
 mod options;
 mod prefetch;
+mod pressure;
 mod priority;
 mod result;
 mod schedule;

@@ -1,0 +1,221 @@
+//! Incremental per-cluster register-pressure tracking.
+//!
+//! The Check-and-Insert-Spill heuristic runs after *every* scheduled
+//! operation, and the seed implementation recomputed every value lifetime in
+//! the graph on each run — O(values × edges) per placed node, the single
+//! hottest path of the scheduler. This module keeps per-cluster
+//! [`PressureMap`]s current instead: each value's present contribution (a
+//! lifetime interval in its producer's cluster, or one uniform register per
+//! cluster using a loop invariant) is recorded, and only values *touched*
+//! since the last read — by a placement, an ejection, or a graph rewrite
+//! such as spill insertion or move removal — are re-derived on
+//! [`PressureTracker::flush`].
+//!
+//! The tracker is deliberately lazy: scheduling hooks only mark values
+//! dirty, so bursts of mutations (a forced placement ejecting several
+//! neighbours, a spill rewiring a dozen consumers) cost one recomputation
+//! per distinct value, not one per mutation. Correctness is pinned two
+//! ways: `debug_assert`s compare the flushed maps against the from-scratch
+//! computation throughout the test suite, and the place/eject property test
+//! drives random schedules against the same oracle.
+
+use crate::schedule::PartialSchedule;
+use ddg::lifetime::{LifetimeInterval, PressureMap};
+use ddg::{DepGraph, NodeId, ValueId};
+
+/// What one value currently contributes to the per-cluster pressure maps.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+enum Contribution {
+    /// Nothing: unscheduled producer, or an unused invariant.
+    #[default]
+    None,
+    /// A register lifetime in the producer's cluster.
+    Interval {
+        /// Cluster index holding the register.
+        cluster: usize,
+        /// The folded lifetime.
+        interval: LifetimeInterval,
+    },
+    /// A loop invariant: one register for the whole loop in every listed
+    /// cluster.
+    Invariant {
+        /// Cluster indices with at least one scheduled consumer.
+        clusters: Vec<usize>,
+    },
+}
+
+/// Incrementally maintained per-cluster register-pressure gauges of one
+/// scheduling attempt.
+#[derive(Debug, Clone)]
+pub(crate) struct PressureTracker {
+    maps: Vec<PressureMap>,
+    /// Contribution currently folded into `maps`, per value id.
+    recorded: Vec<Contribution>,
+    /// Values whose contribution may be stale.
+    dirty: Vec<ValueId>,
+    dirty_flag: Vec<bool>,
+}
+
+impl PressureTracker {
+    /// Fresh tracker for a `clusters`-cluster machine at interval `ii`,
+    /// sized for `values` existing value ids (it grows as the scheduler
+    /// introduces spill and move values).
+    pub fn new(clusters: usize, ii: u32, values: usize) -> Self {
+        Self {
+            maps: vec![PressureMap::new(ii); clusters],
+            recorded: vec![Contribution::None; values],
+            dirty: Vec::new(),
+            dirty_flag: vec![false; values],
+        }
+    }
+
+    /// Mark one value stale.
+    pub fn mark_value(&mut self, v: ValueId) {
+        if v.index() >= self.dirty_flag.len() {
+            self.dirty_flag.resize(v.index() + 1, false);
+            self.recorded.resize(v.index() + 1, Contribution::None);
+        }
+        if !self.dirty_flag[v.index()] {
+            self.dirty_flag[v.index()] = true;
+            self.dirty.push(v);
+        }
+    }
+
+    /// Mark every value `node` defines or consumes stale — the hook called
+    /// after placing or ejecting `node`.
+    ///
+    /// Besides `dest` and `srcs`, every value carried on an outgoing edge is
+    /// marked: a closed recurrence re-points a value's producer at a node
+    /// whose `dest` is a *different* value, so the carried value is only
+    /// reachable through the flow edges the recurrence closure added.
+    pub fn touch_node(&mut self, graph: &DepGraph, node: NodeId) {
+        let op = graph.op(node);
+        if let Some(dest) = op.dest {
+            self.mark_value(dest);
+        }
+        for &v in &op.srcs {
+            self.mark_value(v);
+        }
+        for &e in graph.out_edge_ids(node) {
+            if let Some(v) = graph.edge(e).value {
+                self.mark_value(v);
+            }
+        }
+    }
+
+    /// Re-derive every stale value's contribution so the maps reflect
+    /// `graph` and `sched` exactly.
+    pub fn flush(&mut self, graph: &DepGraph, sched: &PartialSchedule) {
+        while let Some(v) = self.dirty.pop() {
+            self.dirty_flag[v.index()] = false;
+            let old = std::mem::take(&mut self.recorded[v.index()]);
+            self.unfold(&old);
+            let new = Self::derive(graph, sched, v);
+            self.fold(&new);
+            self.recorded[v.index()] = new;
+        }
+    }
+
+    /// Current contribution of value `v` under `graph` and `sched` —
+    /// the same lifetime rules the from-scratch computation in
+    /// `SchedState::cluster_lifetimes` applies.
+    fn derive(graph: &DepGraph, sched: &PartialSchedule, v: ValueId) -> Contribution {
+        let data = graph.value(v);
+        let ii = i64::from(sched.ii());
+        if data.invariant {
+            let mut clusters: Vec<usize> = Vec::new();
+            for c in graph.consumers_of(v) {
+                if let Some(cc) = sched.cluster_of(c) {
+                    if !clusters.contains(&cc.index()) {
+                        clusters.push(cc.index());
+                    }
+                }
+            }
+            if clusters.is_empty() {
+                return Contribution::None;
+            }
+            return Contribution::Invariant { clusters };
+        }
+        let Some(producer) = data.producer else {
+            return Contribution::None;
+        };
+        let Some(def_cycle) = sched.cycle_of(producer) else {
+            return Contribution::None;
+        };
+        let cluster = sched
+            .cluster_of(producer)
+            .expect("scheduled node has a cluster")
+            .index();
+        let mut end = def_cycle;
+        for &e in graph.out_edge_ids(producer) {
+            let edge = graph.edge(e);
+            if edge.value != Some(v) {
+                continue;
+            }
+            if let Some(uc) = sched.cycle_of(edge.to) {
+                end = end.max(uc + ii * i64::from(edge.distance));
+            }
+        }
+        Contribution::Interval {
+            cluster,
+            interval: LifetimeInterval {
+                value: v,
+                start: def_cycle,
+                end,
+            },
+        }
+    }
+
+    fn fold(&mut self, c: &Contribution) {
+        match c {
+            Contribution::None => {}
+            Contribution::Interval { cluster, interval } => self.maps[*cluster].add(interval),
+            Contribution::Invariant { clusters } => {
+                for &c in clusters {
+                    self.maps[c].add_uniform(1);
+                }
+            }
+        }
+    }
+
+    fn unfold(&mut self, c: &Contribution) {
+        match c {
+            Contribution::None => {}
+            Contribution::Interval { cluster, interval } => self.maps[*cluster].remove(interval),
+            Contribution::Invariant { clusters } => {
+                for &c in clusters {
+                    self.maps[c].remove_uniform(1);
+                }
+            }
+        }
+    }
+
+    /// Pressure gauge of one cluster. Callers must [`flush`] first; the
+    /// scheduler wraps both in `SchedState::pressure_of`.
+    ///
+    /// [`flush`]: PressureTracker::flush
+    pub fn cluster(&self, idx: usize) -> &PressureMap {
+        &self.maps[idx]
+    }
+
+    /// `MaxLive` per cluster (requires a preceding flush).
+    pub fn max_live_per_cluster(&self) -> Vec<u32> {
+        self.maps.iter().map(PressureMap::max_live).collect()
+    }
+
+    /// Lifetime intervals currently contributing to `cluster`, in value-id
+    /// order — the iteration order the spill-candidate selection depends on
+    /// for deterministic tie-breaking (requires a preceding flush).
+    pub fn intervals_for(&self, cluster: usize) -> Vec<LifetimeInterval> {
+        self.recorded
+            .iter()
+            .filter_map(|c| match c {
+                Contribution::Interval {
+                    cluster: cl,
+                    interval,
+                } if *cl == cluster => Some(*interval),
+                _ => None,
+            })
+            .collect()
+    }
+}

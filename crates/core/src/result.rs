@@ -80,6 +80,39 @@ impl ScheduleResult {
         u64::from(self.span) + u64::from(self.ii) * iterations
     }
 
+    /// Stable digest of the schedule: the II, every placement (node, cycle,
+    /// cluster) in node-id order, and the inserted spill/move counts.
+    ///
+    /// The hash is a plain FNV-1a over the raw numbers, independent of any
+    /// hasher or collection internals, so it is comparable across processes,
+    /// toolchains and refactors of the scheduler's data structures. Two runs
+    /// producing the same hash produced byte-identical schedules.
+    #[must_use]
+    pub fn schedule_hash(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut mix = |word: u64| {
+            for byte in word.to_le_bytes() {
+                h ^= u64::from(byte);
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        mix(u64::from(self.ii));
+        let mut nodes: Vec<NodeId> = self.placements.keys().copied().collect();
+        nodes.sort_unstable();
+        for n in nodes {
+            let p = self.placements[&n];
+            mix(u64::from(n.0));
+            mix(p.cycle as u64);
+            mix(u64::from(p.cluster.0));
+        }
+        mix(u64::from(self.stats.spill_stores));
+        mix(u64::from(self.stats.spill_loads));
+        mix(u64::from(self.moves));
+        h
+    }
+
     /// Validate the schedule against machine `machine`.
     ///
     /// Checks that every node is placed, every dependence constraint

@@ -4,6 +4,7 @@
 use crate::error::ScheduleError;
 use crate::options::SchedulerOptions;
 use crate::prefetch::apply_prefetch_policy;
+use crate::pressure::PressureTracker;
 use crate::priority::PriorityList;
 use crate::result::{Placement, ScheduleResult, SchedulerStats};
 use crate::schedule::PartialSchedule;
@@ -41,10 +42,27 @@ pub(crate) struct SchedState<'m> {
     pub prev_cycle: HashMap<NodeId, i64>,
     /// (source, destination) clusters of every live move node.
     pub move_route: HashMap<NodeId, (ClusterId, ClusterId)>,
+    /// Live move node transporting a value into a cluster, by (value,
+    /// destination). Maintained by `create_move`/`remove_move` so move reuse
+    /// checks need no whole-graph scan; at most one move exists per key.
+    pub move_into: HashMap<(ddg::ValueId, ClusterId), NodeId>,
+    /// Spill store node per spilled value. Stores are never removed from the
+    /// graph, so this is a pure cache of `NodeOrigin::SpillStore` nodes.
+    pub spill_store_of: HashMap<ddg::ValueId, NodeId>,
+    /// Memory operations in the graph at attempt start; the live count is
+    /// `mem_ops_base + spills_inserted` (spill code is the only memory
+    /// traffic the scheduler adds, and only moves are ever removed).
+    pub mem_ops_base: u64,
     /// Remaining scheduling attempts before the II must be increased.
     pub budget: i64,
     /// Total spill operations inserted in this attempt (safety valve).
     pub spills_inserted: u32,
+    /// Incrementally maintained per-cluster register-pressure gauges.
+    pub pressure: PressureTracker,
+    /// Whether `MIRS_DEBUG` diagnostics are enabled — resolved once per
+    /// scheduling run; the restart heuristic must not hit the environment on
+    /// every iteration of the scheduling loop.
+    pub debug: bool,
     pub stats: SchedulerStats,
 }
 
@@ -99,6 +117,7 @@ impl<'m> MirsScheduler<'m> {
             });
         }
         let start = Instant::now();
+        let debug = std::env::var("MIRS_DEBUG").is_ok();
         let lat = self.machine.latencies();
         let mut base_graph = lp.graph.clone();
         apply_prefetch_policy(&mut base_graph, lat, &self.opts.prefetch, lp.trip_count);
@@ -120,7 +139,7 @@ impl<'m> MirsScheduler<'m> {
                     last_ii: ii - 1,
                 });
             }
-            match self.attempt(lp, &base_graph, ii, mii_value, &mut carried_stats) {
+            match self.attempt(lp, &base_graph, ii, mii_value, debug, &mut carried_stats) {
                 AttemptOutcome::Success(mut result) => {
                     result.stats.restarts = restarts;
                     result.stats.scheduling_seconds = start.elapsed().as_secs_f64();
@@ -141,22 +160,30 @@ impl<'m> MirsScheduler<'m> {
         base_graph: &DepGraph,
         ii: u32,
         mii_value: u32,
+        debug: bool,
         carried: &mut SchedulerStats,
     ) -> AttemptOutcome {
         let lat = self.machine.latencies();
         let graph = base_graph.clone();
         let order = hrms::hrms_order(&graph, lat);
         let budget = i64::from(self.opts.budget_ratio) * order.len() as i64;
+        let pressure = PressureTracker::new(self.machine.clusters(), ii, graph.value_count());
+        let mem_ops_base = graph.count_ops(Opcode::is_memory) as u64;
         let mut st = SchedState {
             machine: self.machine,
             opts: self.opts,
             graph,
-            sched: PartialSchedule::new(ii),
+            sched: PartialSchedule::new(self.machine, ii),
             plist: PriorityList::from_order(&order),
             prev_cycle: HashMap::default(),
             move_route: HashMap::default(),
+            move_into: HashMap::default(),
+            spill_store_of: HashMap::default(),
+            mem_ops_base,
             budget,
             spills_inserted: 0,
+            pressure,
+            debug,
             stats: std::mem::take(carried),
         };
 
@@ -248,17 +275,28 @@ impl SchedState<'_> {
 
     /// Schedule one node on `cluster` (Figure 3 of the paper): find a free
     /// slot in the search window, or force it and eject conflicting and
-    /// dependence-violated operations. Returns `false` only when
-    /// backtracking is disabled and no free slot exists.
+    /// dependence-violated operations. Returns `false` when no schedule at
+    /// the current II can ever place the node — backtracking is disabled
+    /// and no free slot exists, or the node's reservation table exceeds a
+    /// resource capacity all by itself (an unpipelined long-latency
+    /// operation at a small II); the caller restarts with a larger II.
     pub(crate) fn schedule_node(&mut self, node: NodeId, cluster: ClusterId) -> bool {
         let window = self.window(node, cluster);
         let rt = self.reservation_for(node, cluster);
         if let Some(cycle) = self.find_free_slot(&rt, window) {
             self.sched.place(node, cycle, cluster, rt);
+            self.pressure.touch_node(&self.graph, node);
             self.prev_cycle.insert(node, cycle);
             return true;
         }
         if !self.opts.enable_backtracking {
+            return false;
+        }
+        if self.sched.intrinsically_infeasible(&rt) {
+            // Forcing would oversubscribe a resource no ejection can free
+            // (the table conflicts with *itself* in the MRT). Surface the
+            // infeasibility instead of force-placing and watching the whole
+            // budget drain on unrecoverable conflicts.
             return false;
         }
         self.force_and_eject(node, cluster, rt, window);
@@ -289,17 +327,17 @@ impl SchedState<'_> {
         // Eject operations causing resource conflicts: one at a time, always
         // the one placed earliest (or all of them under the ablation policy).
         loop {
-            if self.sched.can_place(self.machine, &rt, forced_cycle) {
+            if self.sched.can_place(&rt, forced_cycle) {
                 break;
             }
-            let conflicts = self.sched.conflicts(self.machine, &rt, forced_cycle);
+            let conflicts = self.sched.conflicts(&rt, forced_cycle);
+            // `schedule_node` rejects intrinsically infeasible tables before
+            // forcing, so a full cell always has an occupant to evict.
+            debug_assert!(
+                !conflicts.is_empty(),
+                "no occupant to eject for a feasible reservation table"
+            );
             if conflicts.is_empty() {
-                // The operation conflicts with itself in the modulo
-                // reservation table (e.g. an unpipelined divide whose
-                // occupancy exceeds II × units on this cluster): no amount
-                // of ejection helps, the II is infeasible. Exhaust the
-                // budget so the restart heuristic raises the II.
-                self.budget = 0;
                 break;
             }
             match self.opts.ejection {
@@ -316,6 +354,7 @@ impl SchedState<'_> {
             }
         }
         self.sched.place(node, forced_cycle, cluster, rt);
+        self.pressure.touch_node(&self.graph, node);
         self.prev_cycle.insert(node, forced_cycle);
 
         // Eject previously scheduled predecessors and successors whose
@@ -323,7 +362,7 @@ impl SchedState<'_> {
         let lat = self.machine.latencies();
         let ii = i64::from(self.sched.ii());
         let mut violated: Vec<NodeId> = Vec::new();
-        for e in self.graph.in_edges(node) {
+        for &e in self.graph.in_edge_ids(node) {
             let edge = *self.graph.edge(e);
             if edge.from == node {
                 continue;
@@ -337,7 +376,7 @@ impl SchedState<'_> {
                 }
             }
         }
-        for e in self.graph.out_edges(node) {
+        for &e in self.graph.out_edge_ids(node) {
             let edge = *self.graph.edge(e);
             if edge.to == node {
                 continue;
@@ -367,6 +406,7 @@ impl SchedState<'_> {
     /// will be reconsidered when the node is picked up again.
     pub(crate) fn eject_node(&mut self, node: NodeId) {
         let cycle = self.sched.eject(node);
+        self.pressure.touch_node(&self.graph, node);
         self.prev_cycle.insert(node, cycle);
         self.stats.ejections += 1;
         self.plist.push_back(node);
@@ -410,12 +450,24 @@ impl SchedState<'_> {
             self.sched.eject(mv);
         }
         self.plist.remove(mv);
-        self.move_route.remove(&mv);
+        let route = self.move_route.remove(&mv);
+        if let (ddg::NodeOrigin::Move { value }, Some((_, dst))) = (self.graph.op(mv).origin, route)
+        {
+            self.move_into.remove(&(value, dst));
+        }
         self.stats.moves_removed += 1;
 
         let src_value = self.graph.op(mv).srcs.first().copied();
         let dest_value = self.graph.op(mv).dest;
         let producer = src_value.and_then(|v| self.graph.value(v).producer);
+        // The rewiring below changes both values' consumer sets and, via
+        // the ejection above, their lifetimes.
+        if let Some(v) = src_value {
+            self.pressure.mark_value(v);
+        }
+        if let Some(v) = dest_value {
+            self.pressure.mark_value(v);
+        }
 
         // Reconnect outgoing edges to the predecessor and restore operands.
         if let (Some(src_value), Some(dest_value)) = (src_value, dest_value) {
@@ -448,7 +500,7 @@ impl SchedState<'_> {
     /// spill code) can no longer fit in the memory ports at the current II.
     pub(crate) fn should_restart(&mut self) -> bool {
         if self.budget <= 0 {
-            if std::env::var("MIRS_DEBUG").is_ok() {
+            if self.debug {
                 eprintln!(
                     "RESTART: budget exhausted, ii={} rr={:?} spills={}",
                     self.sched.ii(),
@@ -458,10 +510,13 @@ impl SchedState<'_> {
             }
             return true;
         }
-        let mem_ops = self.graph.count_ops(Opcode::is_memory) as u64;
+        // Tracked incrementally: spill code is the only memory traffic ever
+        // inserted, and only move operations are ever removed.
+        let mem_ops = self.mem_ops_base + u64::from(self.spills_inserted);
+        debug_assert_eq!(mem_ops, self.graph.count_ops(Opcode::is_memory) as u64);
         let capacity = u64::from(self.machine.total_mem_ports()) * u64::from(self.sched.ii());
         if mem_ops > capacity {
-            if std::env::var("MIRS_DEBUG").is_ok() {
+            if self.debug {
                 eprintln!(
                     "RESTART: traffic {} > {} at ii={}",
                     mem_ops,
@@ -473,7 +528,7 @@ impl SchedState<'_> {
         }
         // Safety valve: runaway spilling means the II is too tight.
         if self.spills_inserted as usize > 10 * self.graph.node_count().max(8) {
-            if std::env::var("MIRS_DEBUG").is_ok() {
+            if self.debug {
                 eprintln!(
                     "RESTART: runaway spills {} at ii={}",
                     self.spills_inserted,

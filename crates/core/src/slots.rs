@@ -12,7 +12,7 @@ impl SchedState<'_> {
         let lat = self.machine.latencies();
         let ii = i64::from(self.sched.ii());
         let mut early: Option<i64> = None;
-        for e in self.graph.in_edges(node) {
+        for &e in self.graph.in_edge_ids(node) {
             let edge = *self.graph.edge(e);
             if edge.from == node {
                 continue; // self edge constrains nothing within one iteration
@@ -31,7 +31,7 @@ impl SchedState<'_> {
         let lat = self.machine.latencies();
         let ii = i64::from(self.sched.ii());
         let mut late: Option<i64> = None;
-        for e in self.graph.out_edges(node) {
+        for &e in self.graph.out_edge_ids(node) {
             let edge = *self.graph.edge(e);
             if edge.to == node {
                 continue;
@@ -99,10 +99,10 @@ impl SchedState<'_> {
         match window.direction {
             Direction::Forward => (0..span)
                 .map(|k| window.early + k)
-                .find(|&c| self.sched.can_place(self.machine, rt, c)),
+                .find(|&c| self.sched.can_place(rt, c)),
             Direction::Backward => (0..span)
                 .map(|k| window.late - k)
-                .find(|&c| self.sched.can_place(self.machine, rt, c)),
+                .find(|&c| self.sched.can_place(rt, c)),
         }
     }
 }

@@ -1,8 +1,14 @@
 //! Register-pressure tracking and the Check-and-Insert-Spill heuristic
 //! (Section 3.2.3 of the paper).
+//!
+//! The heuristic runs after every scheduled operation, so its pressure
+//! reads come from the incrementally maintained
+//! [`PressureTracker`](crate::pressure::PressureTracker) rather than a
+//! from-scratch lifetime scan; [`SchedState::cluster_lifetimes`] survives as
+//! the oracle the debug assertions (and the property tests) compare the
+//! incremental gauges against.
 
 use crate::scheduler::SchedState;
-use ddg::collections::HashMap;
 use ddg::lifetime::{LifetimeInterval, Pressure};
 use ddg::{MemAccess, NodeId, NodeOrigin, OperationData, ValueId};
 use vliw::{ClusterId, Opcode};
@@ -69,7 +75,7 @@ impl SchedState<'_> {
                 .cluster_of(producer)
                 .expect("scheduled node has a cluster");
             let mut end = def_cycle;
-            for e in self.graph.out_edges(producer) {
+            for &e in self.graph.out_edge_ids(producer) {
                 let edge = self.graph.edge(e);
                 if edge.value != Some(v) {
                     continue;
@@ -87,14 +93,28 @@ impl SchedState<'_> {
         (intervals, invariants)
     }
 
-    /// `MaxLive` per cluster of the current partial schedule.
-    pub(crate) fn register_requirements(&self) -> Vec<u32> {
+    /// `MaxLive` per cluster of the current partial schedule, read from the
+    /// incremental pressure gauges.
+    pub(crate) fn register_requirements(&mut self) -> Vec<u32> {
+        self.pressure.flush(&self.graph, &self.sched);
+        debug_assert!(self.pressure_matches_scratch());
+        self.pressure.max_live_per_cluster()
+    }
+
+    /// Whether the incremental gauges agree with a from-scratch lifetime
+    /// computation — the invariant behind every spill decision. Referenced
+    /// by `debug_assert!` so release builds skip the O(values × edges)
+    /// recomputation.
+    pub(crate) fn pressure_matches_scratch(&self) -> bool {
         let (intervals, invariants) = self.cluster_lifetimes();
-        intervals
-            .iter()
-            .zip(&invariants)
-            .map(|(iv, &extra)| Pressure::compute(iv.iter(), self.sched.ii(), extra).max_live())
-            .collect()
+        self.machine.cluster_ids().all(|c| {
+            let scratch = Pressure::compute(
+                intervals[c.index()].iter(),
+                self.sched.ii(),
+                invariants[c.index()],
+            );
+            self.pressure.cluster(c.index()).per_cycle() == scratch.per_cycle()
+        })
     }
 
     /// The Check-and-Insert-Spill heuristic (step 5 of Figure 4).
@@ -120,13 +140,10 @@ impl SchedState<'_> {
             // Bounded number of spill actions per invocation; the heuristic
             // runs again after every scheduled node anyway.
             for _ in 0..4 {
-                let (intervals, invariants) = self.cluster_lifetimes();
-                let pressure = Pressure::compute(
-                    intervals[cluster.index()].iter(),
-                    self.sched.ii(),
-                    invariants[cluster.index()],
-                );
-                let rr = pressure.max_live();
+                self.pressure.flush(&self.graph, &self.sched);
+                debug_assert!(self.pressure_matches_scratch());
+                let gauge = self.pressure.cluster(cluster.index());
+                let rr = gauge.max_live();
                 let threshold = if finishing {
                     available
                 } else {
@@ -135,7 +152,7 @@ impl SchedState<'_> {
                 if rr <= threshold {
                     break;
                 }
-                let critical = pressure.critical_cycle();
+                let critical = gauge.critical_cycle();
                 // When the priority list is empty the schedule *must* fit the
                 // register file, so the minimum-span requirement is relaxed
                 // rather than giving up on the II (the paper's MSG filter
@@ -146,12 +163,8 @@ impl SchedState<'_> {
                 } else {
                     self.opts.min_span_gauge
                 };
-                match self.select_spill_candidate(
-                    cluster,
-                    critical,
-                    &intervals[cluster.index()],
-                    min_span,
-                ) {
+                let intervals = self.pressure.intervals_for(cluster.index());
+                match self.select_spill_candidate(cluster, critical, &intervals, min_span) {
                     Some(cand) => {
                         inserted_nodes += self.insert_spill(&cand);
                     }
@@ -304,11 +317,18 @@ impl SchedState<'_> {
         best
     }
 
-    /// Existing spill store node for `value`, if one was inserted earlier.
+    /// Existing spill store node for `value`, if one was inserted earlier —
+    /// an O(1) read of the cache `insert_spill` maintains (spill stores are
+    /// never removed from the graph).
     fn existing_spill_store(&self, value: ValueId) -> Option<NodeId> {
-        self.graph.node_ids().find(|&n| {
-            matches!(self.graph.op(n).origin, NodeOrigin::SpillStore { value: v } if v == value)
-        })
+        let found = self.spill_store_of.get(&value).copied();
+        debug_assert_eq!(
+            found,
+            self.graph.node_ids().find(|&n| {
+                matches!(self.graph.op(n).origin, NodeOrigin::SpillStore { value: v } if v == value)
+            })
+        );
+        found
     }
 
     /// Memory location used to spill `value`.
@@ -343,6 +363,7 @@ impl SchedState<'_> {
             let st = self.graph.add_node(data);
             self.graph.add_flow(producer, st, cand.value, 0);
             self.plist.insert_with_anchor(st, producer);
+            self.spill_store_of.insert(cand.value, st);
             inserted += 1;
             Some(st)
         };
@@ -388,6 +409,10 @@ impl SchedState<'_> {
             }
             self.graph.add_flow(ld, consumer, reload_value, 0);
         }
+        // The spilled value lost consumers and the reload gained them; both
+        // pressure contributions changed shape.
+        self.pressure.mark_value(cand.value);
+        self.pressure.mark_value(reload_value);
         inserted
     }
 
@@ -396,25 +421,23 @@ impl SchedState<'_> {
     /// cluster, forcing its non-spillable section out of that cycle.
     fn eject_from_critical_cycle(&mut self, cluster: ClusterId, critical_cycle: u32) {
         let ii = i64::from(self.sched.ii());
-        let mut candidates: Vec<(u64, NodeId)> = Vec::new();
-        let placements: HashMap<NodeId, (i64, ClusterId)> =
-            self.sched.iter().map(|(n, c, cl)| (n, (c, cl))).collect();
-        for (n, (cycle, cl)) in placements {
-            if cl != cluster {
-                continue;
-            }
-            if cycle.rem_euclid(ii) as u32 != critical_cycle {
+        // Iterate the placements directly — no temporary map of the whole
+        // schedule just to pick one victim in one cluster/cycle.
+        let mut victim: Option<(u64, NodeId)> = None;
+        for (n, cycle, cl) in self.sched.iter() {
+            if cl != cluster || cycle.rem_euclid(ii) as u32 != critical_cycle {
                 continue;
             }
             if !self.graph.op(n).opcode.defines_register() {
                 continue;
             }
             let order = self.sched.order_of(n).unwrap_or(u64::MAX);
-            candidates.push((order, n));
+            if victim.is_none_or(|(best, _)| order < best) {
+                victim = Some((order, n));
+            }
         }
-        candidates.sort_unstable();
-        if let Some(&(_, victim)) = candidates.first() {
-            self.eject_node(victim);
+        if let Some((_, v)) = victim {
+            self.eject_node(v);
         }
     }
 }

@@ -345,3 +345,42 @@ fn scheduling_statistics_are_consistent() {
         r.graph.count_ops(|o| o.is_memory()) as u32
     );
 }
+
+#[test]
+fn unpipelined_divide_at_small_ii_raises_ii_instead_of_force_placing() {
+    // One unpipelined divide (occupancy 17) among cheap operations: the
+    // total-resource MII underestimates the per-cluster constraint. On a
+    // 2-cluster machine with 4 GP units per cluster, the divide's
+    // reservation table folds to ceil(17/II) uses of one kernel slot, so
+    // any II < 5 is *intrinsically* infeasible on every cluster — no
+    // ejection can help. The scheduler must surface that and raise the II
+    // without force-placing an operation that can never fit (the old
+    // behaviour drained the whole budget per infeasible II and could only
+    // recover through the restart valve).
+    let mut b = LoopBuilder::new("divide_heavy");
+    let x = b.load("x");
+    let y = b.load("y");
+    let q = b.op(Opcode::FpDiv, &[x, y]);
+    let s = b.op(Opcode::FpAdd, &[q, x]);
+    b.store("z", s);
+    let lp = b.finish(100);
+
+    let machine = MachineConfig::paper_config(2, 64).unwrap();
+    let bounds = mii::mii(&lp.graph, machine.latencies(), 8, 4);
+    assert!(
+        bounds.mii() < 5,
+        "the MII ({}) must undercut the per-cluster divide bound for this \
+         regression to exercise the infeasible IIs",
+        bounds.mii()
+    );
+    let r = schedule_and_validate(&lp, &machine, SchedulerOptions::default());
+    assert!(
+        r.ii >= 5,
+        "ceil(17/II) must fit in 4 GP units, got II {}",
+        r.ii
+    );
+    assert!(
+        r.stats.restarts >= 5 - bounds.mii(),
+        "every infeasible II restarts exactly once"
+    );
+}

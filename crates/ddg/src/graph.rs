@@ -405,6 +405,20 @@ impl DepGraph {
         self.pred[n.index()].clone()
     }
 
+    /// Outgoing edges of `n` as a borrowed slice — the allocation-free
+    /// variant of [`DepGraph::out_edges`] for read-only hot paths.
+    #[must_use]
+    pub fn out_edge_ids(&self, n: NodeId) -> &[EdgeId] {
+        &self.succ[n.index()]
+    }
+
+    /// Incoming edges of `n` as a borrowed slice — the allocation-free
+    /// variant of [`DepGraph::in_edges`] for read-only hot paths.
+    #[must_use]
+    pub fn in_edge_ids(&self, n: NodeId) -> &[EdgeId] {
+        &self.pred[n.index()]
+    }
+
     /// Successor nodes of `n` (deduplicated, in edge order).
     #[must_use]
     pub fn successors(&self, n: NodeId) -> Vec<NodeId> {

@@ -143,6 +143,140 @@ impl Pressure {
     }
 }
 
+/// Incrementally maintained register-pressure gauge: the per-kernel-cycle
+/// live-value counts of [`Pressure`], but updated by *adding and removing
+/// individual lifetimes* instead of being recomputed from the full interval
+/// set.
+///
+/// The iterative scheduler places and ejects one operation at a time; each
+/// such step changes the lifetimes of only the values the operation defines
+/// or consumes. A `PressureMap` lets the spill heuristic keep per-cluster
+/// pressure current in O(II) per affected value rather than O(values ×
+/// edges) per probe. [`PressureMap::add`] folds a lifetime exactly like
+/// [`Pressure::compute`] does, and [`PressureMap::remove`] subtracts the
+/// identical contribution, so after any add/remove sequence the map equals
+/// the from-scratch computation over the currently-present intervals — the
+/// invariant the schedulers' property tests pin down.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PressureMap {
+    ii: u32,
+    per_cycle: Vec<u32>,
+}
+
+impl PressureMap {
+    /// Empty gauge for a schedule at initiation interval `ii`.
+    #[must_use]
+    pub fn new(ii: u32) -> Self {
+        let ii = ii.max(1);
+        Self {
+            ii,
+            per_cycle: vec![0; ii as usize],
+        }
+    }
+
+    /// Initiation interval the gauge folds lifetimes into.
+    #[must_use]
+    pub fn ii(&self) -> u32 {
+        self.ii
+    }
+
+    /// Per-cycle contribution of `iv`: the number of whole-II wraps (added
+    /// to every cycle) and the partial range of kernel cycles receiving one
+    /// extra unit.
+    fn contribution(&self, iv: &LifetimeInterval) -> (u32, i64, i64) {
+        let full = iv.len() / i64::from(self.ii);
+        let rem = iv.len() % i64::from(self.ii);
+        let start_mod = iv.start.rem_euclid(i64::from(self.ii));
+        (u32::try_from(full).unwrap_or(u32::MAX), start_mod, rem)
+    }
+
+    /// Fold `iv` into the gauge (same arithmetic as [`Pressure::compute`]).
+    pub fn add(&mut self, iv: &LifetimeInterval) {
+        if iv.is_empty() {
+            return;
+        }
+        let (full, start_mod, rem) = self.contribution(iv);
+        for c in &mut self.per_cycle {
+            *c += full;
+        }
+        for k in 0..rem {
+            let c = usize::try_from((start_mod + k).rem_euclid(i64::from(self.ii))).unwrap();
+            self.per_cycle[c] += 1;
+        }
+    }
+
+    /// Subtract exactly what [`PressureMap::add`] contributed for `iv`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds, via arithmetic underflow) if `iv` was never
+    /// added.
+    pub fn remove(&mut self, iv: &LifetimeInterval) {
+        if iv.is_empty() {
+            return;
+        }
+        let (full, start_mod, rem) = self.contribution(iv);
+        for c in &mut self.per_cycle {
+            *c -= full;
+        }
+        for k in 0..rem {
+            let c = usize::try_from((start_mod + k).rem_euclid(i64::from(self.ii))).unwrap();
+            self.per_cycle[c] -= 1;
+        }
+    }
+
+    /// Add `n` to every kernel cycle (loop invariants hold one register for
+    /// the whole loop; mirrors the `extra` argument of
+    /// [`Pressure::compute`]).
+    pub fn add_uniform(&mut self, n: u32) {
+        for c in &mut self.per_cycle {
+            *c += n;
+        }
+    }
+
+    /// Subtract `n` from every kernel cycle.
+    pub fn remove_uniform(&mut self, n: u32) {
+        for c in &mut self.per_cycle {
+            *c -= n;
+        }
+    }
+
+    /// Maximum number of simultaneously live values (`MaxLive`).
+    #[must_use]
+    pub fn max_live(&self) -> u32 {
+        self.per_cycle.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Kernel cycle with the highest pressure. Ties resolve to the same
+    /// cycle [`Pressure::critical_cycle`] picks, so heuristics driven by
+    /// either computation take identical decisions.
+    #[must_use]
+    pub fn critical_cycle(&self) -> u32 {
+        self.per_cycle
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &p)| p)
+            .map(|(i, _)| i as u32)
+            .unwrap_or(0)
+    }
+
+    /// Pressure at a given kernel cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cycle >= II`.
+    #[must_use]
+    pub fn at(&self, cycle: u32) -> u32 {
+        self.per_cycle[cycle as usize]
+    }
+
+    /// Pressure per kernel cycle.
+    #[must_use]
+    pub fn per_cycle(&self) -> &[u32] {
+        &self.per_cycle
+    }
+}
+
 /// One *use* of a value: the section of its lifetime between the previous
 /// consumer (or the definition) and the current consumer. The spill
 /// heuristic of MIRS-C selects whole uses for spilling and never spills the
@@ -266,6 +400,109 @@ mod tests {
         let ivs = [iv(0, 0, 6), iv(1, 1, 7), iv(2, 2, 8)];
         let p = Pressure::compute(ivs.iter(), 3, 0);
         assert_eq!(p.max_live(), 6);
+    }
+
+    /// Brute-force count of overlapping copies of a lifetime: one copy
+    /// starts every II cycles; at absolute cycle `t` copy `k` is live when
+    /// `start + k·ii ≤ t < end + k·ii`.
+    fn brute_force_registers(iv: &LifetimeInterval, ii: u32) -> u32 {
+        let ii = i64::from(ii);
+        let mut max = 0u32;
+        for t in (iv.start - 3 * ii)..(iv.end + 3 * ii) {
+            let mut live = 0u32;
+            for k in -8..=8i64 {
+                if iv.start + k * ii <= t && t < iv.end + k * ii {
+                    live += 1;
+                }
+            }
+            max = max.max(live);
+        }
+        max
+    }
+
+    #[test]
+    fn registers_at_exact_multiples_of_ii_match_overlap_count() {
+        // A lifetime whose length is an exact multiple of the II is the
+        // boundary case of the ceiling division in `registers`: len = m·II
+        // overlaps exactly m copies of itself (the m-th copy starts the
+        // cycle the first one dies).
+        for ii in 1..=6u32 {
+            for m in 1..=4i64 {
+                for start in [-5i64, 0, 3] {
+                    let iv = LifetimeInterval {
+                        value: ValueId(0),
+                        start,
+                        end: start + m * i64::from(ii),
+                    };
+                    assert_eq!(
+                        iv.registers(ii),
+                        u32::try_from(m).unwrap(),
+                        "len {} at ii {ii}",
+                        iv.len()
+                    );
+                    assert_eq!(
+                        iv.registers(ii),
+                        brute_force_registers(&iv, ii),
+                        "ceiling division disagrees with the overlap count \
+                         for len {} at ii {ii}",
+                        iv.len()
+                    );
+                }
+            }
+        }
+        // Off-by-one neighbours of the boundary, against the same oracle.
+        for ii in 2..=5u32 {
+            for len in 1..(4 * i64::from(ii)) {
+                let iv = LifetimeInterval {
+                    value: ValueId(0),
+                    start: 1,
+                    end: 1 + len,
+                };
+                assert_eq!(iv.registers(ii), brute_force_registers(&iv, ii));
+            }
+        }
+    }
+
+    #[test]
+    fn pressure_map_add_matches_compute() {
+        let ivs = [iv(0, 0, 6), iv(1, 1, 7), iv(2, 2, 8), iv(3, -3, 1)];
+        for ii in 1..=5u32 {
+            let mut map = PressureMap::new(ii);
+            for i in &ivs {
+                map.add(i);
+            }
+            map.add_uniform(2);
+            let scratch = Pressure::compute(ivs.iter(), ii, 2);
+            assert_eq!(map.per_cycle(), scratch.per_cycle());
+            assert_eq!(map.max_live(), scratch.max_live());
+            assert_eq!(map.critical_cycle(), scratch.critical_cycle());
+        }
+    }
+
+    #[test]
+    fn pressure_map_remove_inverts_add() {
+        let a = iv(0, 0, 11);
+        let b = iv(1, 2, 5);
+        let mut map = PressureMap::new(4);
+        map.add(&a);
+        map.add(&b);
+        map.add_uniform(1);
+        map.remove(&a);
+        map.remove_uniform(1);
+        let scratch = Pressure::compute([&b], 4, 0);
+        assert_eq!(map.per_cycle(), scratch.per_cycle());
+        map.remove(&b);
+        assert_eq!(map.max_live(), 0);
+        assert_eq!(map.at(0), 0);
+        assert_eq!(map.ii(), 4);
+    }
+
+    #[test]
+    fn pressure_map_ignores_empty_lifetimes() {
+        let mut map = PressureMap::new(3);
+        map.add(&iv(0, 5, 5));
+        map.remove(&iv(0, 5, 5));
+        assert_eq!(map.max_live(), 0);
     }
 
     #[test]

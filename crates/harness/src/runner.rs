@@ -176,6 +176,68 @@ pub fn schedule_loop(
     }
 }
 
+/// Wall-clock measurement of repeated full-workbench scheduling passes —
+/// the end-to-end "scheduling time" experiment behind Table 3, exposed as a
+/// first-class runner mode so benchmarks and CI can track scheduler
+/// throughput without re-deriving the methodology.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SchedTimeTrial {
+    /// Machine configuration name.
+    pub config: String,
+    /// Scheduler that was timed.
+    pub scheduler: SchedulerKind,
+    /// Number of loops per pass.
+    pub loops: usize,
+    /// Total scheduling seconds of each pass over the whole workbench.
+    pub pass_seconds: Vec<f64>,
+}
+
+impl SchedTimeTrial {
+    /// Fastest pass (the number to compare across scheduler versions: it has
+    /// the least measurement noise).
+    #[must_use]
+    pub fn best_seconds(&self) -> f64 {
+        self.pass_seconds
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Mean over all passes.
+    #[must_use]
+    pub fn mean_seconds(&self) -> f64 {
+        if self.pass_seconds.is_empty() {
+            return 0.0;
+        }
+        self.pass_seconds.iter().sum::<f64>() / self.pass_seconds.len() as f64
+    }
+}
+
+/// Time `repeats` full passes of the workbench through the chosen scheduler.
+///
+/// Each pass schedules every loop and records the pass's total wall-clock
+/// scheduling time (scheduler construction and graph generation excluded).
+#[must_use]
+pub fn time_workbench(
+    wb: &Workbench,
+    machine: &MachineConfig,
+    kind: SchedulerKind,
+    prefetch: PrefetchPolicy,
+    repeats: u32,
+) -> SchedTimeTrial {
+    let mut pass_seconds = Vec::with_capacity(repeats as usize);
+    for _ in 0..repeats.max(1) {
+        let summary = run_workbench(wb, machine, kind, prefetch);
+        pass_seconds.push(summary.total_scheduling_seconds());
+    }
+    SchedTimeTrial {
+        config: machine.name(),
+        scheduler: kind,
+        loops: wb.loops().len(),
+        pass_seconds,
+    }
+}
+
 /// Run every loop of the workbench through the chosen scheduler.
 #[must_use]
 pub fn run_workbench(

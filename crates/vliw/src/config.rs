@@ -4,7 +4,7 @@ use crate::cluster::ClusterConfig;
 use crate::error::ConfigError;
 use crate::op::{LatencyModel, Opcode};
 use crate::reservation::ReservationTable;
-use crate::resource::{ClusterId, ResourceKind};
+use crate::resource::{ClusterId, ResourceIndexer, ResourceKind};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -179,6 +179,21 @@ impl MachineConfig {
             ResourceKind::InPort { cluster } => self.cluster(cluster).in_ports,
             ResourceKind::Bus => self.buses,
         }
+    }
+
+    /// Dense [`ResourceKind`] ↔ `usize` indexer for this machine — the
+    /// addressing scheme of the schedulers' flat modulo reservation tables.
+    #[must_use]
+    pub fn resource_indexer(&self) -> ResourceIndexer {
+        ResourceIndexer::new(self.clusters.len())
+    }
+
+    /// Capacity of every resource kind in dense-index order (the flat-table
+    /// companion of [`MachineConfig::resource_count`]).
+    #[must_use]
+    pub fn capacity_vector(&self) -> Vec<u32> {
+        let ix = self.resource_indexer();
+        ix.kinds().map(|k| self.resource_count(k)).collect()
     }
 
     /// Reservation table of `op` when executed on `cluster`.
@@ -405,6 +420,19 @@ mod tests {
         assert_eq!(mc.resource_count(ResourceKind::OutPort { cluster: c0 }), 1);
         assert_eq!(mc.resource_count(ResourceKind::InPort { cluster: c0 }), 1);
         assert_eq!(mc.resource_count(ResourceKind::Bus), 2);
+    }
+
+    #[test]
+    fn capacity_vector_matches_resource_count() {
+        let mc = MachineConfig::paper_config(2, 32).unwrap();
+        let ix = mc.resource_indexer();
+        let caps = mc.capacity_vector();
+        assert_eq!(caps.len(), ix.len());
+        for kind in ix.kinds() {
+            assert_eq!(caps[ix.index_of(kind)], mc.resource_count(kind));
+        }
+        // 2 clusters: gp=4, mem=2, out=1, in=1 each, then 2 buses.
+        assert_eq!(caps, vec![4, 2, 1, 1, 4, 2, 1, 1, 2]);
     }
 
     #[test]

@@ -51,4 +51,4 @@ pub use error::ConfigError;
 pub use hw_model::{HwEstimate, HwModel};
 pub use op::{LatencyModel, MemLatency, OpClass, Opcode};
 pub use reservation::{ReservationTable, ResourceUse};
-pub use resource::{ClusterId, ResourceKind};
+pub use resource::{ClusterId, ResourceIndexer, ResourceKind};

@@ -93,6 +93,111 @@ impl ResourceKind {
     }
 }
 
+/// Dense bijection between [`ResourceKind`] and `0..len()` for a machine
+/// with a fixed cluster count.
+///
+/// The modulo reservation table of the schedulers is a flat
+/// `[resource-index × II-slot]` array; this indexer is the addressing scheme
+/// that makes every probe a direct array access instead of a hash lookup.
+/// Per-cluster resources are laid out contiguously per cluster
+/// (`GpUnit`, `MemPort`, `OutPort`, `InPort`) with the shared bus last:
+///
+/// ```text
+/// index = 4·cluster + {0 gp, 1 mem, 2 out, 3 in}      index = 4·k  (bus)
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResourceIndexer {
+    clusters: u16,
+}
+
+/// Per-cluster resource classes packed before the shared bus.
+const PER_CLUSTER_KINDS: usize = 4;
+
+impl ResourceIndexer {
+    /// Indexer for a machine with `clusters` clusters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clusters == 0` or exceeds `u16::MAX`.
+    #[must_use]
+    pub fn new(clusters: usize) -> Self {
+        assert!(clusters > 0, "a machine has at least one cluster");
+        Self {
+            clusters: u16::try_from(clusters).expect("cluster count fits in u16"),
+        }
+    }
+
+    /// Number of distinct resource kinds (`4·clusters + 1`).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        PER_CLUSTER_KINDS * usize::from(self.clusters) + 1
+    }
+
+    /// An indexer is never empty (there is always the shared bus).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Number of clusters the indexer was built for.
+    #[must_use]
+    pub fn clusters(&self) -> usize {
+        usize::from(self.clusters)
+    }
+
+    /// Dense index of `kind`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `kind` names a cluster outside the
+    /// machine; release builds would index out of bounds downstream, which
+    /// the flat tables turn into a panic as well.
+    #[must_use]
+    pub fn index_of(&self, kind: ResourceKind) -> usize {
+        let slot = |cluster: ClusterId, class: usize| {
+            debug_assert!(
+                cluster.index() < self.clusters(),
+                "resource {kind} names cluster {cluster} of a {}-cluster machine",
+                self.clusters
+            );
+            PER_CLUSTER_KINDS * cluster.index() + class
+        };
+        match kind {
+            ResourceKind::GpUnit { cluster } => slot(cluster, 0),
+            ResourceKind::MemPort { cluster } => slot(cluster, 1),
+            ResourceKind::OutPort { cluster } => slot(cluster, 2),
+            ResourceKind::InPort { cluster } => slot(cluster, 3),
+            ResourceKind::Bus => PER_CLUSTER_KINDS * self.clusters(),
+        }
+    }
+
+    /// Resource kind at dense index `idx` (inverse of
+    /// [`ResourceIndexer::index_of`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= len()`.
+    #[must_use]
+    pub fn kind_at(&self, idx: usize) -> ResourceKind {
+        assert!(idx < self.len(), "resource index {idx} out of range");
+        if idx == PER_CLUSTER_KINDS * self.clusters() {
+            return ResourceKind::Bus;
+        }
+        let cluster = ClusterId::from(idx / PER_CLUSTER_KINDS);
+        match idx % PER_CLUSTER_KINDS {
+            0 => ResourceKind::GpUnit { cluster },
+            1 => ResourceKind::MemPort { cluster },
+            2 => ResourceKind::OutPort { cluster },
+            _ => ResourceKind::InPort { cluster },
+        }
+    }
+
+    /// Iterate over every resource kind in dense-index order.
+    pub fn kinds(&self) -> impl Iterator<Item = ResourceKind> + '_ {
+        (0..self.len()).map(|i| self.kind_at(i))
+    }
+}
+
 impl fmt::Display for ResourceKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -130,6 +235,47 @@ mod tests {
             assert!(!r.is_shared());
             assert_eq!(r.cluster(), Some(c));
         }
+    }
+
+    #[test]
+    fn indexer_is_a_bijection() {
+        for clusters in 1..=8usize {
+            let ix = ResourceIndexer::new(clusters);
+            assert_eq!(ix.len(), 4 * clusters + 1);
+            assert!(!ix.is_empty());
+            assert_eq!(ix.clusters(), clusters);
+            let mut seen = vec![false; ix.len()];
+            for kind in ix.kinds() {
+                let i = ix.index_of(kind);
+                assert!(!seen[i], "index {i} assigned twice");
+                seen[i] = true;
+                assert_eq!(ix.kind_at(i), kind, "kind_at inverts index_of");
+            }
+            assert!(seen.iter().all(|&s| s), "every index is reachable");
+        }
+    }
+
+    #[test]
+    fn indexer_packs_clusters_contiguously() {
+        let ix = ResourceIndexer::new(2);
+        let c1 = ClusterId(1);
+        assert_eq!(ix.index_of(ResourceKind::GpUnit { cluster: c1 }), 4);
+        assert_eq!(ix.index_of(ResourceKind::MemPort { cluster: c1 }), 5);
+        assert_eq!(ix.index_of(ResourceKind::OutPort { cluster: c1 }), 6);
+        assert_eq!(ix.index_of(ResourceKind::InPort { cluster: c1 }), 7);
+        assert_eq!(ix.index_of(ResourceKind::Bus), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cluster")]
+    fn indexer_rejects_zero_clusters() {
+        let _ = ResourceIndexer::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn kind_at_rejects_out_of_range() {
+        let _ = ResourceIndexer::new(1).kind_at(5);
     }
 
     #[test]

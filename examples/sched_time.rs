@@ -1,0 +1,54 @@
+//! End-to-end scheduler-throughput probe: times full MIRS-C passes over a
+//! loopgen workbench on the paper's register-constrained configurations.
+//!
+//! This is the workload behind the ≥2× flat-MRT speedup claim; run it in
+//! release mode before and after touching the scheduler's hot loop:
+//!
+//! ```text
+//! cargo run --release --example sched_time
+//! MIRS_SCHEDTIME_LOOPS=100 MIRS_SCHEDTIME_REPEATS=5 \
+//!     cargo run --release --example sched_time
+//! ```
+
+use harness::runner::{time_workbench, SchedulerKind};
+use loopgen::{Workbench, WorkbenchParams};
+use mirs::PrefetchPolicy;
+use vliw::MachineConfig;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let loops = env_usize("MIRS_SCHEDTIME_LOOPS", 60);
+    let repeats = env_usize("MIRS_SCHEDTIME_REPEATS", 3) as u32;
+    let wb = Workbench::generate(&WorkbenchParams {
+        loops,
+        ..WorkbenchParams::default()
+    });
+    println!("scheduling {loops} loops x {repeats} passes per configuration\n");
+    println!(
+        "{:<18} {:>12} {:>12} {:>14}",
+        "config", "best (s)", "mean (s)", "loops/s (best)"
+    );
+    for (k, regs) in [(1u32, 64u32), (2, 32), (4, 16)] {
+        let machine = MachineConfig::paper_config(k, regs).expect("paper config");
+        let trial = time_workbench(
+            &wb,
+            &machine,
+            SchedulerKind::MirsC,
+            PrefetchPolicy::HitLatency,
+            repeats,
+        );
+        println!(
+            "{:<18} {:>12.4} {:>12.4} {:>14.1}",
+            trial.config,
+            trial.best_seconds(),
+            trial.mean_seconds(),
+            trial.loops as f64 / trial.best_seconds()
+        );
+    }
+}

@@ -2,12 +2,12 @@
 //! valid modulo schedule on every machine shape, and core invariants of the
 //! substrate crates must hold for arbitrary inputs.
 
-use ddg::lifetime::{LifetimeInterval, Pressure};
-use ddg::ValueId;
+use ddg::lifetime::{LifetimeInterval, Pressure, PressureMap};
+use ddg::{NodeId, ValueId};
 use loopgen::{synthetic, SyntheticParams};
-use mirs::{MirsScheduler, SchedulerOptions};
+use mirs::{MirsScheduler, PartialSchedule, SchedulerOptions};
 use proptest::prelude::*;
-use vliw::{ClusterConfig, MachineConfig};
+use vliw::{ClusterConfig, ClusterId, LatencyModel, MachineConfig, Opcode, ReservationTable};
 
 proptest! {
     #![proptest_config(ProptestConfig { cases: 24, .. ProptestConfig::default() })]
@@ -82,6 +82,114 @@ proptest! {
             unrolled.graph.edge_count(),
             lp.graph.edge_count() * factor as usize
         );
+    }
+
+    /// Random place/try_place/eject churn on the flat modulo reservation
+    /// table: the incrementally maintained cell counts and per-kind
+    /// occupancy gauges must always equal a from-scratch recount over the
+    /// placements, and `can_place`/`conflicts` must agree with each other.
+    /// This is the oracle guarding the incremental tentpole structures.
+    #[test]
+    fn place_eject_round_trip_matches_recount(
+        ops in proptest::collection::vec(
+            (0u32..24, -12i64..24, 0u16..2, 0usize..5, 0u32..2),
+            1..80,
+        ),
+        ii in 1u32..8,
+    ) {
+        let machine = MachineConfig::paper_config(2, 32).unwrap();
+        let lat = LatencyModel::default();
+        let table = |idx: usize, cluster: u16| -> ReservationTable {
+            match idx {
+                0 => ReservationTable::for_op(Opcode::FpAdd, ClusterId(cluster), &lat),
+                1 => ReservationTable::for_op(Opcode::Load, ClusterId(cluster), &lat),
+                2 => ReservationTable::for_op(Opcode::FpDiv, ClusterId(cluster), &lat),
+                3 => ReservationTable::for_op(Opcode::FpMul, ClusterId(cluster), &lat),
+                _ => ReservationTable::for_move(
+                    ClusterId(cluster),
+                    ClusterId(1 - cluster),
+                    &lat,
+                ),
+            }
+        };
+        let mut sched = PartialSchedule::new(&machine, ii);
+        for (node, cycle, cluster, kind, force) in ops {
+            let node = NodeId(node);
+            let rt = table(kind, cluster);
+            if sched.is_scheduled(node) {
+                let back = sched.eject(node);
+                prop_assert!(!sched.is_scheduled(node));
+                let _ = back;
+            } else if force == 1 {
+                // Forced placements may oversubscribe, like the
+                // Forcing-and-Ejection heuristic does.
+                sched.place(node, cycle, ClusterId(cluster), rt);
+            } else {
+                let fits = sched.can_place(&rt, cycle);
+                let conflicts = sched.conflicts(&rt, cycle);
+                if fits {
+                    prop_assert!(conflicts.is_empty());
+                } else if !sched.intrinsically_infeasible(&rt) {
+                    prop_assert!(
+                        !conflicts.is_empty(),
+                        "a full cell of a feasible table has an occupant"
+                    );
+                }
+                for &c in &conflicts {
+                    prop_assert!(sched.is_scheduled(c));
+                }
+                prop_assert_eq!(sched.try_place(node, cycle, ClusterId(cluster), rt), fits);
+            }
+            let (counts, by_kind) = sched.gauges();
+            let (recount, re_kind) = sched.recount();
+            prop_assert_eq!(&counts, &recount, "cell counts drifted from the placements");
+            prop_assert_eq!(&by_kind, &re_kind, "occupancy gauges drifted");
+            let ix = machine.resource_indexer();
+            for kind in ix.kinds() {
+                prop_assert_eq!(sched.occupancy(kind), by_kind[ix.index_of(kind)]);
+            }
+        }
+    }
+
+    /// Incremental pressure maps equal the from-scratch computation after
+    /// any interleaving of lifetime additions and removals.
+    #[test]
+    fn pressure_map_tracks_compute_under_churn(
+        intervals in proptest::collection::vec((-40i64..200, 0i64..60), 1..24),
+        keep in proptest::collection::vec(0u32..2, 24..25),
+        ii in 1u32..12,
+        uniform in 0u32..4,
+    ) {
+        let ivs: Vec<LifetimeInterval> = intervals
+            .iter()
+            .enumerate()
+            .map(|(i, &(start, len))| LifetimeInterval {
+                value: ValueId(i as u32),
+                start,
+                end: start + len,
+            })
+            .collect();
+        let mut map = PressureMap::new(ii);
+        map.add_uniform(uniform);
+        for iv in &ivs {
+            map.add(iv);
+        }
+        // Remove a random subset again.
+        let kept: Vec<&LifetimeInterval> = ivs
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| keep.get(*i).copied().unwrap_or(0) == 1)
+            .map(|(_, iv)| iv)
+            .collect();
+        for (i, iv) in ivs.iter().enumerate() {
+            if keep.get(i).copied().unwrap_or(0) != 1 {
+                map.remove(iv);
+            }
+        }
+        let scratch = Pressure::compute(kept.into_iter(), ii, uniform);
+        prop_assert_eq!(map.per_cycle(), scratch.per_cycle());
+        prop_assert_eq!(map.max_live(), scratch.max_live());
+        prop_assert_eq!(map.critical_cycle(), scratch.critical_cycle());
     }
 
     /// The HRMS ordering is always a permutation of the nodes.

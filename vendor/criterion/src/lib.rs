@@ -1,0 +1,193 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no route to a crates registry, so this crate
+//! implements the slice of `criterion` the bench targets use: [`Criterion`],
+//! [`BenchmarkGroup`], [`Bencher::iter`] and the [`criterion_group!`] /
+//! [`criterion_main!`] entry points. Measurements are simple wall-clock
+//! means over a handful of samples — adequate for the tables the benches
+//! print and for keeping the targets compiling; swap in the real
+//! `criterion` for statistically sound numbers when a registry is
+//! reachable.
+//!
+//! Command-line behaviour mirrors what Cargo expects of a `harness = false`
+//! bench target: `--test` runs every routine exactly once, `--list` prints
+//! the registered benchmarks, and any bare argument filters benchmarks by
+//! substring.
+
+use std::time::{Duration, Instant};
+
+/// Per-iteration timer handed to bench closures.
+pub struct Bencher {
+    samples: u32,
+    last: Option<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, running it `samples` times (once in `--test` mode).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            std::hint::black_box(routine());
+        }
+        self.last = Some(start.elapsed() / self.samples.max(1));
+    }
+}
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    test_mode: bool,
+    list_mode: bool,
+    filters: Vec<String>,
+    sample_size: u32,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        Self {
+            test_mode: args.iter().any(|a| a == "--test"),
+            list_mode: args.iter().any(|a| a == "--list"),
+            filters: args.into_iter().filter(|a| !a.starts_with("--")).collect(),
+            sample_size: 3,
+        }
+    }
+}
+
+impl Criterion {
+    fn matches(&self, id: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| id.contains(f.as_str()))
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) {
+        if self.list_mode {
+            println!("{id}: benchmark");
+            return;
+        }
+        if !self.matches(id) {
+            return;
+        }
+        let mut b = Bencher {
+            samples: if self.test_mode { 1 } else { self.sample_size },
+            last: None,
+        };
+        let samples = b.samples;
+        f(&mut b);
+        match b.last {
+            Some(mean) if !self.test_mode => {
+                println!("{id:<40} time: {:>12.3} ms/iter", mean.as_secs_f64() * 1e3);
+                write_estimates(id, mean, samples);
+            }
+            _ => println!("{id}: ok"),
+        }
+    }
+
+    /// Registers and (unless filtered out) runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        self.run_one(id, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_owned(),
+        }
+    }
+
+    /// Hook called by [`criterion_main!`] after all groups ran.
+    pub fn final_summary(&self) {}
+}
+
+/// A named group of benchmarks, mirroring `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples per benchmark (the stub clamps the count
+    /// to keep runs short).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = (n as u32).clamp(1, 10);
+        self
+    }
+
+    /// Registers and runs one benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let full = format!("{}/{id}", self.name);
+        self.criterion.run_one(&full, f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Persist one measurement as `target/criterion/<id>/new/estimates.json`,
+/// the same location and `mean.point_estimate` field (nanoseconds) the real
+/// criterion writes, so CI can archive benchmark trajectories without
+/// knowing which implementation produced them. Failures are ignored: a
+/// read-only filesystem must never fail a bench run.
+fn write_estimates(id: &str, mean: Duration, samples: u32) {
+    let target = std::env::var_os("CARGO_TARGET_DIR")
+        .map(std::path::PathBuf::from)
+        .or_else(|| {
+            // The bench executable lives in target/<profile>/deps/.
+            let exe = std::env::current_exe().ok()?;
+            Some(exe.parent()?.parent()?.parent()?.to_path_buf())
+        });
+    let Some(target) = target else { return };
+    let mut dir = target.join("criterion");
+    for part in id.split('/') {
+        // Benchmark ids are our own (group/name); keep path characters tame.
+        let safe: String = part
+            .chars()
+            .map(|c| {
+                if c.is_ascii_alphanumeric() || c == '_' || c == '-' || c == '.' {
+                    c
+                } else {
+                    '_'
+                }
+            })
+            .collect();
+        dir = dir.join(safe);
+    }
+    dir = dir.join("new");
+    if std::fs::create_dir_all(&dir).is_err() {
+        return;
+    }
+    let json = format!(
+        "{{\"mean\":{{\"point_estimate\":{:.1}}},\"sample_count\":{samples}}}\n",
+        mean.as_secs_f64() * 1e9
+    );
+    let _ = std::fs::write(dir.join("estimates.json"), json);
+}
+
+/// Mirrors `criterion::black_box` (re-export of [`std::hint::black_box`]).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Mirrors `criterion::criterion_group!`: bundles bench functions into one
+/// group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Mirrors `criterion::criterion_main!`: generates `main` for a
+/// `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
