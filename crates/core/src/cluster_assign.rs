@@ -50,7 +50,7 @@ impl SchedState<'_> {
     pub(crate) fn moves_needed(&self, node: NodeId, cluster: ClusterId) -> usize {
         let mut count = 0;
         // Imports: operands produced by operations scheduled elsewhere.
-        for &v in &self.graph.op(node).srcs {
+        for &v in self.graph.op(node).srcs() {
             if self.graph.value(v).invariant {
                 continue; // invariants take a register in each cluster instead
             }
@@ -66,7 +66,7 @@ impl SchedState<'_> {
         // clusters (one move per destination cluster).
         if let Some(dest) = self.graph.op(node).dest {
             let mut dst_clusters: Vec<ClusterId> = Vec::new();
-            for c in self.graph.consumers_of(dest) {
+            for &c in self.graph.consumer_ids(dest) {
                 if let Some(cc) = self.sched.cluster_of(c) {
                     if cc != cluster && !dst_clusters.contains(&cc) {
                         dst_clusters.push(cc);
@@ -107,7 +107,7 @@ impl SchedState<'_> {
         let mut new_moves = Vec::new();
 
         // --- imports -------------------------------------------------------
-        let srcs = self.graph.op(node).srcs.clone();
+        let srcs = self.graph.op(node).srcs().to_vec();
         for v in srcs {
             if self.graph.value(v).invariant {
                 continue;
@@ -205,11 +205,7 @@ impl SchedState<'_> {
         for e in to_remove {
             self.graph.remove_edge(e);
         }
-        for s in &mut self.graph.op_mut(consumer).srcs {
-            if *s == original {
-                *s = copy;
-            }
-        }
+        self.graph.replace_src(consumer, original, copy);
         // Avoid duplicate edges if the consumer was already rewired.
         let already = self.graph.in_edges(consumer).iter().any(|&e| {
             let edge = self.graph.edge(e);

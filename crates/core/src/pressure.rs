@@ -93,7 +93,7 @@ impl PressureTracker {
         if let Some(dest) = op.dest {
             self.mark_value(dest);
         }
-        for &v in &op.srcs {
+        for &v in op.srcs() {
             self.mark_value(v);
         }
         for &e in graph.out_edge_ids(node) {
@@ -124,7 +124,7 @@ impl PressureTracker {
         let ii = i64::from(sched.ii());
         if data.invariant {
             let mut clusters: Vec<usize> = Vec::new();
-            for c in graph.consumers_of(v) {
+            for &c in graph.consumer_ids(v) {
                 if let Some(cc) = sched.cluster_of(c) {
                     if !clusters.contains(&cc.index()) {
                         clusters.push(cc.index());

@@ -158,7 +158,7 @@ impl ScheduleResult {
                 // The move's source cluster is the cluster of its operand's
                 // producer; its destination cluster is where it is placed.
                 let src = op
-                    .srcs
+                    .srcs()
                     .first()
                     .and_then(|&v| self.graph.value(v).producer)
                     .and_then(|prod| self.placements.get(&prod))
@@ -188,7 +188,7 @@ impl ScheduleResult {
                 // Moves read a remote value by design.
                 continue;
             }
-            for &v in &self.graph.op(n).srcs {
+            for &v in self.graph.op(n).srcs() {
                 let vd = self.graph.value(v);
                 if vd.invariant {
                     continue;

@@ -76,12 +76,23 @@ enum AttemptOutcome {
 ///
 /// Construct one per machine configuration and call
 /// [`MirsScheduler::schedule`] for each loop. The scheduler is stateless
-/// between loops and therefore `Send + Sync`.
+/// between loops and therefore `Send + Sync`: all mutable state of an
+/// attempt lives in a per-call `SchedState`, so one scheduler (or one
+/// machine configuration) can be shared by reference across worker threads
+/// scheduling different loops concurrently — the contract the parallel
+/// sweep harness relies on. The compile-time assertion below pins it.
 #[derive(Debug, Clone)]
 pub struct MirsScheduler<'m> {
     machine: &'m MachineConfig,
     opts: SchedulerOptions,
 }
+
+// Pinned so a future field (interior mutability, an `Rc`-cached order)
+// cannot silently break the parallel workbench sweep.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<MirsScheduler<'static>>();
+};
 
 impl<'m> MirsScheduler<'m> {
     /// New scheduler for `machine` with the given options.
@@ -419,13 +430,12 @@ impl SchedState<'_> {
         let mut to_remove: Vec<NodeId> = Vec::new();
         for p in self.graph.predecessors(node) {
             if self.graph.is_live(p) && self.graph.op(p).opcode.is_move() {
-                let consumers: Vec<NodeId> = self
+                let sole_consumer = self
                     .graph
                     .op(p)
                     .dest
-                    .map(|v| self.graph.consumers_of(v))
-                    .unwrap_or_default();
-                if consumers == vec![node] {
+                    .is_some_and(|v| self.graph.consumer_ids(v) == [node]);
+                if sole_consumer {
                     to_remove.push(p);
                 }
             }
@@ -457,7 +467,7 @@ impl SchedState<'_> {
         }
         self.stats.moves_removed += 1;
 
-        let src_value = self.graph.op(mv).srcs.first().copied();
+        let src_value = self.graph.op(mv).srcs().first().copied();
         let dest_value = self.graph.op(mv).dest;
         let producer = src_value.and_then(|v| self.graph.value(v).producer);
         // The rewiring below changes both values' consumer sets and, via
@@ -484,12 +494,7 @@ impl SchedState<'_> {
                     }
                 }
                 // Restore the consumer's operand list.
-                let consumer_srcs = &mut self.graph.op_mut(edge.to).srcs;
-                for s in consumer_srcs.iter_mut() {
-                    if *s == dest_value {
-                        *s = src_value;
-                    }
-                }
+                self.graph.replace_src(edge.to, dest_value, src_value);
             }
         }
         self.graph.remove_node(mv);

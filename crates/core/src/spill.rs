@@ -211,8 +211,9 @@ impl SchedState<'_> {
                 }
                 let consumers: Vec<NodeId> = self
                     .graph
-                    .consumers_of(v)
-                    .into_iter()
+                    .consumer_ids(v)
+                    .iter()
+                    .copied()
                     .filter(|&c| self.sched.cluster_of(c) == Some(cluster))
                     .collect();
                 if consumers.is_empty() {
@@ -295,8 +296,9 @@ impl SchedState<'_> {
                 let distance = uses[idx..].iter().map(|&(_, _, d)| d).min().unwrap_or(0);
                 let unscheduled: Vec<NodeId> = self
                     .graph
-                    .consumers_of(v)
-                    .into_iter()
+                    .consumer_ids(v)
+                    .iter()
+                    .copied()
                     .filter(|c| !self.sched.is_scheduled(*c) && !tail.contains(c))
                     .filter(|&c| !matches!(self.graph.op(c).origin, NodeOrigin::SpillStore { .. }))
                     .collect();
@@ -402,11 +404,7 @@ impl SchedState<'_> {
             for e in to_remove {
                 self.graph.remove_edge(e);
             }
-            for s in &mut self.graph.op_mut(consumer).srcs {
-                if *s == cand.value {
-                    *s = reload_value;
-                }
-            }
+            self.graph.replace_src(consumer, cand.value, reload_value);
             self.graph.add_flow(ld, consumer, reload_value, 0);
         }
         // The spilled value lost consumers and the reload gained them; both

@@ -99,7 +99,12 @@ pub struct OperationData {
     /// Value defined by the operation (if any).
     pub dest: Option<ValueId>,
     /// Values read by the operation (may contain loop invariants).
-    pub srcs: Vec<ValueId>,
+    ///
+    /// Crate-private on purpose: once the node is inserted, the graph keeps
+    /// a value→consumers index over these operands, so all mutation must go
+    /// through [`DepGraph::replace_src`]. Read access goes through
+    /// [`OperationData::srcs`].
+    pub(crate) srcs: Vec<ValueId>,
     /// Memory access pattern for loads/stores (used by the cache simulator).
     pub mem: Option<MemAccess>,
     /// Latency assumption used when scheduling this operation's result
@@ -131,6 +136,12 @@ impl OperationData {
     pub fn latency(&self, lat: &LatencyModel) -> u32 {
         lat.latency_of(self.opcode, self.mem_latency)
     }
+
+    /// Values read by the operation (may contain loop invariants).
+    #[must_use]
+    pub fn srcs(&self) -> &[ValueId] {
+        &self.srcs
+    }
 }
 
 /// A value (virtual register) of the loop.
@@ -156,6 +167,12 @@ pub struct DepGraph {
     edges: Vec<Option<DepEdge>>,
     succ: Vec<Vec<EdgeId>>,
     pred: Vec<Vec<EdgeId>>,
+    /// Value→consumers index: for each value, the live nodes reading it,
+    /// sorted by node id and deduplicated — exactly what a scan over every
+    /// node's operand list would produce. Maintained by `add_node`,
+    /// `remove_node` and `replace_src` so `consumers_of` is O(consumers)
+    /// instead of O(nodes).
+    consumers: Vec<Vec<NodeId>>,
 }
 
 impl DepGraph {
@@ -176,6 +193,7 @@ impl DepGraph {
             producer: None,
             invariant,
         });
+        self.consumers.push(Vec::new());
         id
     }
 
@@ -211,12 +229,81 @@ impl DepGraph {
         data.invariant = false;
     }
 
-    /// Nodes that read `v` (live nodes only).
+    /// Nodes that read `v` (live nodes only), in node-id order.
+    ///
+    /// O(consumers): read from the maintained value→consumers index rather
+    /// than scanning every node's operand list — `consumers_of` sits on the
+    /// scheduler's hot path (cluster selection, spill-candidate selection,
+    /// invariant-pressure derivation) and the scan dominated profiles once
+    /// the rest of the inner loop became allocation-light.
     #[must_use]
     pub fn consumers_of(&self, v: ValueId) -> Vec<NodeId> {
-        self.node_ids()
-            .filter(|&n| self.op(n).srcs.contains(&v))
-            .collect()
+        let found = self.consumers[v.index()].clone();
+        debug_assert_eq!(
+            found,
+            self.node_ids()
+                .filter(|&n| self.op(n).srcs.contains(&v))
+                .collect::<Vec<_>>(),
+            "consumer index for {v:?} drifted from the operand lists"
+        );
+        found
+    }
+
+    /// Borrowed variant of [`DepGraph::consumers_of`] for read-only hot
+    /// paths (no allocation, no oracle check).
+    #[must_use]
+    pub fn consumer_ids(&self, v: ValueId) -> &[NodeId] {
+        &self.consumers[v.index()]
+    }
+
+    /// Insert `n` into the consumer list of `v`, keeping it sorted and
+    /// deduplicated.
+    fn index_consumer(&mut self, v: ValueId, n: NodeId) {
+        let list = &mut self.consumers[v.index()];
+        if let Err(pos) = list.binary_search(&n) {
+            list.insert(pos, n);
+        }
+    }
+
+    /// Remove `n` from the consumer list of `v` (no-op if absent).
+    fn unindex_consumer(&mut self, v: ValueId, n: NodeId) {
+        let list = &mut self.consumers[v.index()];
+        if let Ok(pos) = list.binary_search(&n) {
+            list.remove(pos);
+        }
+    }
+
+    /// Replace every occurrence of `old` in `n`'s operand list with `new`,
+    /// keeping the value→consumers index current. Returns the number of
+    /// operand slots rewritten.
+    ///
+    /// This is the only way to mutate a node's operands after insertion —
+    /// the scheduler's spill insertion and move (un)rewiring all route
+    /// through here.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not live or either value id is out of range.
+    pub fn replace_src(&mut self, n: NodeId, old: ValueId, new: ValueId) -> usize {
+        assert!(new.index() < self.values.len(), "value {new} out of range");
+        if old == new {
+            return self.op(n).srcs.iter().filter(|&&s| s == old).count();
+        }
+        let op = self.nodes[n.index()]
+            .as_mut()
+            .unwrap_or_else(|| panic!("node {n} is not live"));
+        let mut replaced = 0;
+        for s in &mut op.srcs {
+            if *s == old {
+                *s = new;
+                replaced += 1;
+            }
+        }
+        if replaced > 0 {
+            self.unindex_consumer(old, n);
+            self.index_consumer(new, n);
+        }
+        replaced
     }
 
     // ----- nodes ----------------------------------------------------------
@@ -226,6 +313,9 @@ impl DepGraph {
         let id = NodeId(u32::try_from(self.nodes.len()).expect("too many nodes"));
         if let Some(dest) = data.dest {
             self.set_producer(dest, id);
+        }
+        for i in 0..data.srcs.len() {
+            self.index_consumer(data.srcs[i], id);
         }
         self.nodes.push(Some(data));
         self.succ.push(Vec::new());
@@ -253,14 +343,16 @@ impl DepGraph {
                 self.remove_edge(e);
             }
         }
-        if let Some(op) = &self.nodes[n.index()] {
+        if let Some(op) = self.nodes[n.index()].take() {
             if let Some(dest) = op.dest {
                 if self.values[dest.index()].producer == Some(n) {
                     self.values[dest.index()].producer = None;
                 }
             }
+            for &src in &op.srcs {
+                self.unindex_consumer(src, n);
+            }
         }
-        self.nodes[n.index()] = None;
     }
 
     /// Whether `n` refers to a live (non-removed) node.
@@ -480,6 +572,14 @@ impl DepGraph {
     }
 }
 
+// The parallel sweep harness shares `&DepGraph` bases across worker threads;
+// this compile-time check pins the graph's thread-safety so a future field
+// (an `Rc`, a `Cell`) cannot silently revoke it.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<DepGraph>();
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -591,6 +691,59 @@ mod tests {
         assert_eq!(g.count_ops(|o| o.is_memory()), 1);
         assert_eq!(g.count_ops(|o| o == Opcode::FpAdd), 1);
         assert_eq!(g.count_ops(|o| o == Opcode::FpDiv), 0);
+    }
+
+    #[test]
+    fn replace_src_rewrites_operands_and_index() {
+        let (mut g, a, b, v) = simple_graph();
+        let w = g.add_value("w", false);
+        assert_eq!(g.consumers_of(v), vec![b]);
+        assert_eq!(g.consumers_of(w), vec![]);
+        assert_eq!(g.replace_src(b, v, w), 1);
+        assert_eq!(g.op(b).srcs(), &[w]);
+        assert_eq!(g.consumers_of(v), vec![]);
+        assert_eq!(g.consumers_of(w), vec![b]);
+        // Replacing a value the node does not read is a no-op.
+        assert_eq!(g.replace_src(a, v, w), 0);
+        assert_eq!(g.consumers_of(w), vec![b]);
+        // old == new leaves everything untouched but reports occurrences.
+        assert_eq!(g.replace_src(b, w, w), 1);
+        assert_eq!(g.consumers_of(w), vec![b]);
+    }
+
+    #[test]
+    fn replace_src_handles_duplicate_operands() {
+        let mut g = DepGraph::new();
+        let v = g.add_value("v", false);
+        let w = g.add_value("w", false);
+        let n = g.add_node(OperationData::new(Opcode::FpAdd, None, vec![v, v]));
+        assert_eq!(g.consumers_of(v), vec![n]);
+        assert_eq!(g.replace_src(n, v, w), 2);
+        assert_eq!(g.op(n).srcs(), &[w, w]);
+        assert_eq!(g.consumers_of(v), vec![]);
+        assert_eq!(g.consumers_of(w), vec![n]);
+    }
+
+    #[test]
+    fn consumer_index_tracks_node_removal() {
+        let (mut g, _a, b, v) = simple_graph();
+        g.remove_node(b);
+        assert_eq!(g.consumers_of(v), vec![]);
+        assert_eq!(g.consumer_ids(v), &[] as &[NodeId]);
+    }
+
+    #[test]
+    fn consumer_index_is_sorted_by_node_id() {
+        let mut g = DepGraph::new();
+        let v = g.add_value("v", false);
+        let mut nodes: Vec<NodeId> = (0..4)
+            .map(|_| g.add_node(OperationData::new(Opcode::FpAdd, None, vec![v])))
+            .collect();
+        assert_eq!(g.consumers_of(v), nodes);
+        g.remove_node(nodes[1]);
+        nodes.remove(1);
+        assert_eq!(g.consumers_of(v), nodes);
+        assert_eq!(g.consumer_ids(v), nodes.as_slice());
     }
 
     #[test]

@@ -1,9 +1,9 @@
 //! Figure 5: execution cycles, memory traffic and execution time of
 //! `k-(GPxMy-REGz)` configurations under the ideal memory assumption.
 
-use crate::runner::{run_workbench, SchedulerKind};
+use crate::runner::{run_sweep, SweepJob};
+use crate::sweep::SweepExecutor;
 use loopgen::Workbench;
-use mirs::PrefetchPolicy;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use vliw::{ClusterConfig, HwModel, MachineConfig};
@@ -34,10 +34,18 @@ pub struct Fig5 {
     pub rows: Vec<Fig5Row>,
 }
 
-/// Run the design-space sweep with MIRS-C under ideal memory.
+/// Run the design-space sweep with MIRS-C under ideal memory, sharding
+/// every (design point, loop) task across [`SweepExecutor::from_env`].
 #[must_use]
 pub fn run(wb: &Workbench, hw: &HwModel) -> Fig5 {
-    let mut rows = Vec::new();
+    run_with(&SweepExecutor::from_env(), wb, hw)
+}
+
+/// [`run`] on an explicit executor.
+#[must_use]
+pub fn run_with(exec: &SweepExecutor, wb: &Workbench, hw: &HwModel) -> Fig5 {
+    let mut points: Vec<(u32, u32, u32)> = Vec::new();
+    let mut jobs: Vec<SweepJob> = Vec::new();
     for &lm in &[1u32, 3] {
         for &k in &[1u32, 2, 4] {
             for &z in &[16u32, 32, 64, 128] {
@@ -47,22 +55,30 @@ pub fn run(wb: &Workbench, hw: &HwModel) -> Fig5 {
                     .move_latency(lm)
                     .build()
                     .expect("valid config");
-                let summary =
-                    run_workbench(wb, &mc, SchedulerKind::MirsC, PrefetchPolicy::HitLatency);
-                let cycles = summary.weighted_execution_cycles();
-                let cycle_time = hw.cycle_time_ps(&mc);
-                rows.push(Fig5Row {
-                    clusters: k,
-                    registers: z,
-                    move_latency: lm,
-                    execution_cycles: cycles,
-                    memory_traffic: summary.weighted_memory_traffic(),
-                    execution_time_ns: cycles * cycle_time / 1000.0,
-                    not_converged: summary.not_converged(),
-                });
+                points.push((lm, k, z));
+                jobs.push(SweepJob::mirs(mc));
             }
         }
     }
+    let summaries = run_sweep(exec, wb, &jobs);
+    let rows = points
+        .into_iter()
+        .zip(&jobs)
+        .zip(&summaries)
+        .map(|(((lm, k, z), job), summary)| {
+            let cycles = summary.weighted_execution_cycles();
+            let cycle_time = hw.cycle_time_ps(&job.machine);
+            Fig5Row {
+                clusters: k,
+                registers: z,
+                move_latency: lm,
+                execution_cycles: cycles,
+                memory_traffic: summary.weighted_memory_traffic(),
+                execution_time_ns: cycles * cycle_time / 1000.0,
+                not_converged: summary.not_converged(),
+            }
+        })
+        .collect();
     Fig5 { rows }
 }
 

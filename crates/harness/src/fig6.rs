@@ -1,9 +1,9 @@
 //! Figure 6: scalability of clustered cores — replicate a `GP2M1-REG32`
 //! cluster element 1..8 times with 2, 3, 4 or unbounded buses.
 
-use crate::runner::{run_workbench, SchedulerKind};
+use crate::runner::{run_sweep, SweepJob};
+use crate::sweep::SweepExecutor;
 use loopgen::Workbench;
-use mirs::PrefetchPolicy;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use vliw::MachineConfig;
@@ -31,26 +31,41 @@ pub struct Fig6 {
     pub rows: Vec<Fig6Row>,
 }
 
-/// Run the scalability sweep. `max_clusters` is 8 in the paper.
+/// Run the scalability sweep. `max_clusters` is 8 in the paper. Every
+/// (design point, loop) task is sharded across [`SweepExecutor::from_env`].
 #[must_use]
 pub fn run(wb: &Workbench, max_clusters: u32) -> Fig6 {
-    let mut rows = Vec::new();
+    run_with(&SweepExecutor::from_env(), wb, max_clusters)
+}
+
+/// [`run`] on an explicit executor.
+#[must_use]
+pub fn run_with(exec: &SweepExecutor, wb: &Workbench, max_clusters: u32) -> Fig6 {
+    let mut points: Vec<(u32, u32)> = Vec::new();
+    let mut jobs: Vec<SweepJob> = Vec::new();
     for &buses in &[2u32, 3, 4, u32::MAX] {
-        let mut single_cluster_cycles = None;
         for k in 1..=max_clusters {
             let mc = MachineConfig::replicated(k, buses).expect("valid replicated config");
-            let summary = run_workbench(wb, &mc, SchedulerKind::MirsC, PrefetchPolicy::HitLatency);
-            let cycles = summary.weighted_execution_cycles();
-            let reference = *single_cluster_cycles.get_or_insert(cycles);
-            let total_moves = summary.outcomes.iter().map(|o| u64::from(o.moves)).sum();
-            rows.push(Fig6Row {
-                clusters: k,
-                buses,
-                execution_cycles: cycles,
-                relative_cycles: cycles / reference,
-                total_moves,
-            });
+            points.push((k, buses));
+            jobs.push(SweepJob::mirs(mc));
         }
+    }
+    let summaries = run_sweep(exec, wb, &jobs);
+    let mut rows = Vec::new();
+    let mut single_cluster_cycles = 0.0;
+    for ((k, buses), summary) in points.into_iter().zip(&summaries) {
+        let cycles = summary.weighted_execution_cycles();
+        if k == 1 {
+            single_cluster_cycles = cycles;
+        }
+        let total_moves = summary.outcomes.iter().map(|o| u64::from(o.moves)).sum();
+        rows.push(Fig6Row {
+            clusters: k,
+            buses,
+            execution_cycles: cycles,
+            relative_cycles: cycles / single_cluster_cycles,
+            total_moves,
+        });
     }
     Fig6 { rows }
 }

@@ -1,7 +1,8 @@
 //! Figure 7: useful vs. stall cycles and execution time under a real memory
 //! hierarchy, with and without selective binding prefetching.
 
-use crate::runner::{run_workbench, SchedulerKind};
+use crate::runner::{run_sweep, SweepJob};
+use crate::sweep::SweepExecutor;
 use loopgen::Workbench;
 use memsim::{simulate, MemoryParams};
 use mirs::PrefetchPolicy;
@@ -40,10 +41,18 @@ pub fn paper_configs() -> Vec<(u32, u32)> {
     vec![(1, 64), (1, 128), (2, 32), (2, 64), (4, 32), (4, 64)]
 }
 
-/// Run the real-memory evaluation.
+/// Run the real-memory evaluation, sharding every (design point, policy,
+/// loop) task across [`SweepExecutor::from_env`].
 #[must_use]
 pub fn run(wb: &Workbench, hw: &HwModel) -> Fig7 {
-    let mut rows = Vec::new();
+    run_with(&SweepExecutor::from_env(), wb, hw)
+}
+
+/// [`run`] on an explicit executor.
+#[must_use]
+pub fn run_with(exec: &SweepExecutor, wb: &Workbench, hw: &HwModel) -> Fig7 {
+    let mut points: Vec<(u32, u32, bool)> = Vec::new();
+    let mut jobs: Vec<SweepJob> = Vec::new();
     for &(k, z) in &paper_configs() {
         for &prefetching in &[false, true] {
             let mc = MachineConfig::builder()
@@ -56,8 +65,21 @@ pub fn run(wb: &Workbench, hw: &HwModel) -> Fig7 {
             } else {
                 PrefetchPolicy::HitLatency
             };
-            let summary = run_workbench(wb, &mc, SchedulerKind::MirsC, policy);
-            let cycle_time = hw.cycle_time_ps(&mc);
+            points.push((k, z, prefetching));
+            jobs.push(SweepJob {
+                machine: mc,
+                scheduler: crate::runner::SchedulerKind::MirsC,
+                prefetch: policy,
+            });
+        }
+    }
+    let summaries = run_sweep(exec, wb, &jobs);
+    let rows = points
+        .into_iter()
+        .zip(&jobs)
+        .zip(&summaries)
+        .map(|(((k, z, prefetching), job), summary)| {
+            let cycle_time = hw.cycle_time_ps(&job.machine);
             let params = MemoryParams {
                 cycle_time_ps: cycle_time,
                 ..MemoryParams::default()
@@ -71,16 +93,16 @@ pub fn run(wb: &Workbench, hw: &HwModel) -> Fig7 {
                     stall += o.weight * out.stall_cycles as f64;
                 }
             }
-            rows.push(Fig7Row {
+            Fig7Row {
                 clusters: k,
                 registers: z,
                 prefetching,
                 useful_cycles: useful,
                 stall_cycles: stall,
                 execution_time_ns: (useful + stall) * cycle_time / 1000.0,
-            });
-        }
-    }
+            }
+        })
+        .collect();
     Fig7 { rows }
 }
 

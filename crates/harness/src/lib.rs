@@ -17,6 +17,19 @@
 //! | Figure 5 (ideal memory design-space sweep)      | [`fig5`] |
 //! | Figure 6 (scalability with clusters and buses)  | [`fig6`] |
 //! | Figure 7 (real memory and binding prefetching)  | [`fig7`] |
+//!
+//! # Parallel execution and the determinism guarantee
+//!
+//! Every experiment routes its per-(loop, machine-config) tasks through the
+//! [`sweep::SweepExecutor`] worker pool (`MIRS_JOBS` threads, default: all
+//! cores). Results are collected by task index, never by completion order,
+//! so a parallel run is **byte-identical** to a serial one: the same
+//! `LoopOutcome` vectors, the same `ScheduleResult::schedule_hash` values,
+//! the same printed tables, for any thread count and any interleaving. The
+//! guarantee is enforced by the golden schedule-hash tests, by a property
+//! test driving 1-, 2- and N-thread sweeps against each other
+//! (`tests/parallel_sweep.rs`), and by the CI matrix running the whole
+//! suite under both `MIRS_JOBS=1` and `MIRS_JOBS=4`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -26,8 +39,13 @@ pub mod fig5;
 pub mod fig6;
 pub mod fig7;
 pub mod runner;
+pub mod sweep;
 pub mod table1;
 pub mod table2;
 pub mod table3;
 
-pub use runner::{run_workbench, LoopOutcome, SchedulerKind, WorkbenchSummary};
+pub use runner::{
+    run_sweep, run_workbench, run_workbench_with, LoopOutcome, SchedulerKind, SweepJob,
+    WorkbenchSummary,
+};
+pub use sweep::{CancelToken, SweepError, SweepExecutor, SweepHooks};

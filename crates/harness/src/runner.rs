@@ -1,6 +1,11 @@
 //! Shared machinery: run a workbench through a scheduler and aggregate the
 //! per-loop metrics the paper reports.
+//!
+//! All workbench traversal routes through the [`SweepExecutor`]
+//! (crate::sweep): loops are independent tasks, outcomes are collected by
+//! loop index, and a parallel run is byte-identical to a serial one.
 
+use crate::sweep::SweepExecutor;
 use baseline::{BaselineOptions, BaselineScheduler};
 use ddg::Loop;
 use loopgen::Workbench;
@@ -180,6 +185,11 @@ pub fn schedule_loop(
 /// the end-to-end "scheduling time" experiment behind Table 3, exposed as a
 /// first-class runner mode so benchmarks and CI can track scheduler
 /// throughput without re-deriving the methodology.
+///
+/// Two time series are kept per pass: the *aggregate* per-loop scheduling
+/// seconds (the serial-equivalent CPU time, comparable across worker
+/// counts) and the *wall-clock* seconds of the pass. Their ratio is the
+/// parallel speedup of the sweep engine.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SchedTimeTrial {
     /// Machine configuration name.
@@ -188,13 +198,18 @@ pub struct SchedTimeTrial {
     pub scheduler: SchedulerKind,
     /// Number of loops per pass.
     pub loops: usize,
-    /// Total scheduling seconds of each pass over the whole workbench.
+    /// Worker threads the pass was sharded across.
+    pub jobs: usize,
+    /// Sum of per-loop scheduling seconds of each pass (serial-equivalent
+    /// CPU time; independent of the worker count up to timer noise).
     pub pass_seconds: Vec<f64>,
+    /// Wall-clock seconds of each pass over the whole workbench.
+    pub wall_seconds: Vec<f64>,
 }
 
 impl SchedTimeTrial {
-    /// Fastest pass (the number to compare across scheduler versions: it has
-    /// the least measurement noise).
+    /// Fastest pass by aggregate scheduling time (the number to compare
+    /// across scheduler versions: it has the least measurement noise).
     #[must_use]
     pub fn best_seconds(&self) -> f64 {
         self.pass_seconds
@@ -203,7 +218,7 @@ impl SchedTimeTrial {
             .fold(f64::INFINITY, f64::min)
     }
 
-    /// Mean over all passes.
+    /// Mean over all passes (aggregate scheduling time).
     #[must_use]
     pub fn mean_seconds(&self) -> f64 {
         if self.pass_seconds.is_empty() {
@@ -211,12 +226,36 @@ impl SchedTimeTrial {
         }
         self.pass_seconds.iter().sum::<f64>() / self.pass_seconds.len() as f64
     }
+
+    /// Fastest pass by wall-clock time.
+    #[must_use]
+    pub fn best_wall_seconds(&self) -> f64 {
+        self.wall_seconds
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Parallel speedup of the best pass: serial-equivalent scheduling
+    /// seconds over wall-clock seconds. ~1.0 for a serial run; approaches
+    /// the worker count when the sweep scales.
+    #[must_use]
+    pub fn speedup(&self) -> f64 {
+        let wall = self.best_wall_seconds();
+        if wall > 0.0 {
+            self.best_seconds() / wall
+        } else {
+            1.0
+        }
+    }
 }
 
-/// Time `repeats` full passes of the workbench through the chosen scheduler.
+/// Time `repeats` full passes of the workbench through the chosen scheduler
+/// on the [`SweepExecutor::from_env`] worker pool.
 ///
-/// Each pass schedules every loop and records the pass's total wall-clock
-/// scheduling time (scheduler construction and graph generation excluded).
+/// Each pass schedules every loop and records both the pass's aggregate
+/// scheduling time and its wall-clock time (scheduler construction and
+/// graph generation excluded from the former).
 #[must_use]
 pub fn time_workbench(
     wb: &Workbench,
@@ -225,20 +264,49 @@ pub fn time_workbench(
     prefetch: PrefetchPolicy,
     repeats: u32,
 ) -> SchedTimeTrial {
-    let mut pass_seconds = Vec::with_capacity(repeats as usize);
-    for _ in 0..repeats.max(1) {
-        let summary = run_workbench(wb, machine, kind, prefetch);
+    time_workbench_with(
+        &SweepExecutor::from_env(),
+        wb,
+        machine,
+        kind,
+        prefetch,
+        repeats,
+    )
+}
+
+/// [`time_workbench`] on an explicit executor (thread-count sweeps, tests).
+#[must_use]
+pub fn time_workbench_with(
+    exec: &SweepExecutor,
+    wb: &Workbench,
+    machine: &MachineConfig,
+    kind: SchedulerKind,
+    prefetch: PrefetchPolicy,
+    repeats: u32,
+) -> SchedTimeTrial {
+    let repeats = repeats.max(1) as usize;
+    let mut pass_seconds = Vec::with_capacity(repeats);
+    let mut wall_seconds = Vec::with_capacity(repeats);
+    for _ in 0..repeats {
+        let started = std::time::Instant::now();
+        let summary = run_workbench_with(exec, wb, machine, kind, prefetch);
+        wall_seconds.push(started.elapsed().as_secs_f64());
         pass_seconds.push(summary.total_scheduling_seconds());
     }
     SchedTimeTrial {
         config: machine.name(),
         scheduler: kind,
         loops: wb.loops().len(),
+        jobs: exec.jobs(),
         pass_seconds,
+        wall_seconds,
     }
 }
 
-/// Run every loop of the workbench through the chosen scheduler.
+/// Run every loop of the workbench through the chosen scheduler, sharded
+/// across the [`SweepExecutor::from_env`] worker pool (`MIRS_JOBS` workers,
+/// default: all cores). Outcomes are in workbench order and byte-identical
+/// to a serial run regardless of the worker count.
 #[must_use]
 pub fn run_workbench(
     wb: &Workbench,
@@ -246,16 +314,93 @@ pub fn run_workbench(
     kind: SchedulerKind,
     prefetch: PrefetchPolicy,
 ) -> WorkbenchSummary {
-    let outcomes = wb
-        .loops()
-        .iter()
-        .map(|lp| schedule_loop(lp, machine, kind, prefetch))
-        .collect();
+    run_workbench_with(&SweepExecutor::from_env(), wb, machine, kind, prefetch)
+}
+
+/// [`run_workbench`] on an explicit executor.
+#[must_use]
+pub fn run_workbench_with(
+    exec: &SweepExecutor,
+    wb: &Workbench,
+    machine: &MachineConfig,
+    kind: SchedulerKind,
+    prefetch: PrefetchPolicy,
+) -> WorkbenchSummary {
+    let outcomes = exec.run(wb.loops(), |_, lp| {
+        schedule_loop(lp, machine, kind, prefetch)
+    });
     WorkbenchSummary {
         config: machine.name(),
         scheduler: kind,
         outcomes,
     }
+}
+
+/// One (machine, scheduler, prefetch) workbench run of a multi-config
+/// sweep — the unit [`run_sweep`] shards together with the loop dimension.
+#[derive(Debug, Clone)]
+pub struct SweepJob {
+    /// Machine configuration to schedule for.
+    pub machine: MachineConfig,
+    /// Scheduler to run.
+    pub scheduler: SchedulerKind,
+    /// Prefetch policy to schedule under.
+    pub prefetch: PrefetchPolicy,
+}
+
+impl SweepJob {
+    /// MIRS-C under the default hit-latency assumption on `machine`.
+    #[must_use]
+    pub fn mirs(machine: MachineConfig) -> Self {
+        Self {
+            machine,
+            scheduler: SchedulerKind::MirsC,
+            prefetch: PrefetchPolicy::HitLatency,
+        }
+    }
+
+    /// The baseline scheduler [31] under hit latency on `machine`.
+    #[must_use]
+    pub fn baseline(machine: MachineConfig) -> Self {
+        Self {
+            machine,
+            scheduler: SchedulerKind::Baseline,
+            prefetch: PrefetchPolicy::HitLatency,
+        }
+    }
+}
+
+/// Run the workbench against every job, flattening all (job, loop) pairs
+/// into one task bag so the worker pool stays saturated across
+/// configuration boundaries (the last big loop of config A overlaps the
+/// first loops of config B instead of serialising behind them).
+///
+/// Returns one [`WorkbenchSummary`] per job, in job order, each with
+/// outcomes in workbench order — exactly what per-job [`run_workbench`]
+/// calls would produce.
+#[must_use]
+pub fn run_sweep(
+    exec: &SweepExecutor,
+    wb: &Workbench,
+    sweep_jobs: &[SweepJob],
+) -> Vec<WorkbenchSummary> {
+    let loops = wb.loops();
+    let tasks: Vec<(usize, usize)> = (0..sweep_jobs.len())
+        .flat_map(|j| (0..loops.len()).map(move |l| (j, l)))
+        .collect();
+    let outcomes = exec.run(&tasks, |_, &(j, l)| {
+        let job = &sweep_jobs[j];
+        schedule_loop(&loops[l], &job.machine, job.scheduler, job.prefetch)
+    });
+    let mut remaining = outcomes.into_iter();
+    sweep_jobs
+        .iter()
+        .map(|job| WorkbenchSummary {
+            config: job.machine.name(),
+            scheduler: job.scheduler,
+            outcomes: remaining.by_ref().take(loops.len()).collect(),
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -306,6 +451,48 @@ mod tests {
             if let (Some(mi), Some(bi)) = (mo.ii, bo.ii) {
                 assert!(mi <= bi, "{}: MIRS-C II {mi} vs baseline {bi}", mo.name);
             }
+        }
+    }
+
+    #[test]
+    fn timed_trials_record_wall_clock_and_jobs() {
+        let wb = small_wb();
+        let machine = MachineConfig::paper_config(2, 32).unwrap();
+        let exec = SweepExecutor::new(2);
+        let trial = time_workbench_with(
+            &exec,
+            &wb,
+            &machine,
+            SchedulerKind::MirsC,
+            PrefetchPolicy::HitLatency,
+            2,
+        );
+        assert_eq!(trial.jobs, 2);
+        assert_eq!(trial.loops, wb.loops().len());
+        assert_eq!(trial.pass_seconds.len(), 2);
+        assert_eq!(trial.wall_seconds.len(), 2);
+        assert!(trial.best_seconds() > 0.0);
+        assert!(trial.best_wall_seconds() > 0.0);
+        assert!(trial.speedup() > 0.0);
+        // A pass's wall clock includes the aggregate scheduling work, so
+        // the speedup can never exceed the worker count (up to timer noise).
+        assert!(trial.speedup() <= trial.jobs as f64 * 1.5);
+    }
+
+    #[test]
+    fn sweep_summaries_chunk_outcomes_per_job() {
+        let wb = small_wb();
+        let jobs = vec![
+            SweepJob::mirs(MachineConfig::paper_config(1, 64).unwrap()),
+            SweepJob::baseline(MachineConfig::paper_config(2, 32).unwrap()),
+        ];
+        let summaries = run_sweep(&SweepExecutor::new(3), &wb, &jobs);
+        assert_eq!(summaries.len(), 2);
+        assert_eq!(summaries[0].scheduler, SchedulerKind::MirsC);
+        assert_eq!(summaries[0].config, "1-(GP8M4-REG64)");
+        assert_eq!(summaries[1].scheduler, SchedulerKind::Baseline);
+        for s in &summaries {
+            assert_eq!(s.outcomes.len(), wb.loops().len());
         }
     }
 

@@ -1,0 +1,472 @@
+//! The parallel sweep engine: a small work-stealing worker pool over an
+//! atomic task queue, built from scoped threads only (no runtime deps).
+//!
+//! Every experiment in this crate is a bag of independent
+//! (loop, machine-config) tasks — the 1258-loop workbench, the fig5/fig6
+//! design-space sweeps, the table3 scheduling-time comparison. The
+//! [`SweepExecutor`] shards such a bag across `MIRS_JOBS` threads (default:
+//! all cores) while keeping the output *byte-identical* to a serial run:
+//!
+//! * workers claim task indices from one shared atomic counter (cheap
+//!   work stealing — an idle worker simply claims the next undone index),
+//! * each result is tagged with its task index and the final vector is
+//!   assembled by index, so the outcome order never depends on thread
+//!   interleaving,
+//! * each task sees an immutable `&` view of the inputs (`Workbench`,
+//!   `MachineConfig`, shared `DepGraph` bases inside each `Loop`) — the
+//!   scheduler itself is `Send + Sync` and stateless between loops.
+//!
+//! Determinism is pinned by the golden `schedule_hash` tests and a property
+//! test driving 1-, 2- and N-thread runs against each other (see
+//! `tests/parallel_sweep.rs`).
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Environment variable overriding the worker count (`0` or unparsable
+/// values fall back to the default).
+pub const JOBS_ENV: &str = "MIRS_JOBS";
+
+/// Why a sweep did not produce a full result vector.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SweepError {
+    /// At least one worker panicked; the listed task indices have no result.
+    /// The panic is *surfaced*, never swallowed into a hang: remaining
+    /// workers drain the queue and the join reports the loss.
+    WorkerPanicked {
+        /// Task indices whose results were lost to the panic(s).
+        lost_tasks: Vec<usize>,
+    },
+    /// The sweep was cancelled through its [`CancelToken`].
+    Cancelled {
+        /// Number of tasks that completed before cancellation won.
+        completed: usize,
+    },
+}
+
+impl std::fmt::Display for SweepError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SweepError::WorkerPanicked { lost_tasks } => {
+                write!(f, "sweep worker panicked; lost tasks {lost_tasks:?}")
+            }
+            SweepError::Cancelled { completed } => {
+                write!(f, "sweep cancelled after {completed} completed tasks")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SweepError {}
+
+/// Cooperative cancellation handle for a running sweep.
+///
+/// Cloneable and cheap; workers check it between tasks, so cancellation
+/// latency is one task, not one sweep.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// Fresh, un-cancelled token.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Request cancellation (idempotent, callable from any thread).
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation was requested.
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Observation hooks for a sweep: progress reporting and cancellation.
+///
+/// The progress callback runs on worker threads (hence `Sync`); keep it
+/// cheap — a counter, a channel send, an `eprint!`.
+#[derive(Default)]
+pub struct SweepHooks<'h> {
+    /// Called after each completed task with `(completed_so_far, total)`.
+    pub progress: Option<&'h (dyn Fn(usize, usize) + Sync)>,
+    /// Checked by every worker before claiming the next task.
+    pub cancel: Option<&'h CancelToken>,
+}
+
+/// A fixed-width worker pool executing bags of independent tasks in
+/// deterministic order.
+///
+/// The executor itself holds no threads — each [`SweepExecutor::run`] call
+/// spawns scoped workers and joins them before returning, so borrowing
+/// stack data in tasks is free and nothing outlives the sweep.
+#[derive(Debug, Clone)]
+pub struct SweepExecutor {
+    jobs: usize,
+}
+
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<SweepExecutor>();
+    assert_send_sync::<CancelToken>();
+};
+
+impl Default for SweepExecutor {
+    fn default() -> Self {
+        Self::from_env()
+    }
+}
+
+impl SweepExecutor {
+    /// Executor with exactly `jobs` workers (clamped to at least 1).
+    #[must_use]
+    pub fn new(jobs: usize) -> Self {
+        Self { jobs: jobs.max(1) }
+    }
+
+    /// Single-threaded executor: tasks run inline on the caller's thread.
+    #[must_use]
+    pub fn serial() -> Self {
+        Self::new(1)
+    }
+
+    /// Executor sized by the `MIRS_JOBS` environment variable, defaulting
+    /// to [`std::thread::available_parallelism`].
+    #[must_use]
+    pub fn from_env() -> Self {
+        let jobs = std::env::var(JOBS_ENV)
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&j| j > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(std::num::NonZeroUsize::get)
+                    .unwrap_or(1)
+            });
+        Self::new(jobs)
+    }
+
+    /// Configured worker count.
+    #[must_use]
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Run `task` over every item and return the results in item order,
+    /// regardless of which worker computed what.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises (as a panic) the failure of any worker task.
+    pub fn run<I, T, F>(&self, items: &[I], task: F) -> Vec<T>
+    where
+        I: Sync,
+        T: Send,
+        F: Fn(usize, &I) -> T + Sync,
+    {
+        match self.try_run_hooked(items, task, &SweepHooks::default()) {
+            Ok(results) => results,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Like [`SweepExecutor::run`] but surfaces worker panics and
+    /// cancellation as a [`SweepError`] instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// [`SweepError::WorkerPanicked`] when any task panicked.
+    pub fn try_run<I, T, F>(&self, items: &[I], task: F) -> Result<Vec<T>, SweepError>
+    where
+        I: Sync,
+        T: Send,
+        F: Fn(usize, &I) -> T + Sync,
+    {
+        self.try_run_hooked(items, task, &SweepHooks::default())
+    }
+
+    /// Full-control variant: progress and cancellation hooks.
+    ///
+    /// # Errors
+    ///
+    /// [`SweepError::WorkerPanicked`] when any task panicked (the queue is
+    /// still drained — a panic never hangs the sweep) and
+    /// [`SweepError::Cancelled`] when the [`CancelToken`] fired first.
+    pub fn try_run_hooked<I, T, F>(
+        &self,
+        items: &[I],
+        task: F,
+        hooks: &SweepHooks<'_>,
+    ) -> Result<Vec<T>, SweepError>
+    where
+        I: Sync,
+        T: Send,
+        F: Fn(usize, &I) -> T + Sync,
+    {
+        let total = items.len();
+        let done = AtomicUsize::new(0);
+        let report = |_idx: usize| {
+            let completed = done.fetch_add(1, Ordering::Relaxed) + 1;
+            if let Some(progress) = hooks.progress {
+                progress(completed, total);
+            }
+        };
+        let cancelled = || hooks.cancel.is_some_and(CancelToken::is_cancelled);
+
+        let workers = self.jobs.min(total);
+        if workers <= 1 {
+            // Inline fast path: `--jobs 1` is a genuinely serial run (the
+            // baseline of every speedup claim), not a one-thread pool. The
+            // error semantics mirror the pooled path exactly: the queue
+            // drains past panics so `lost_tasks` lists *every* failing
+            // task, independent of the worker count.
+            let mut results = Vec::with_capacity(total);
+            let mut lost_tasks: Vec<usize> = Vec::new();
+            for (i, item) in items.iter().enumerate() {
+                if cancelled() {
+                    return Err(SweepError::Cancelled {
+                        completed: done.load(Ordering::Relaxed),
+                    });
+                }
+                match catch_unwind(AssertUnwindSafe(|| task(i, item))) {
+                    Ok(t) => {
+                        results.push(t);
+                        report(i);
+                    }
+                    Err(_) => lost_tasks.push(i),
+                }
+            }
+            if !lost_tasks.is_empty() {
+                return Err(SweepError::WorkerPanicked { lost_tasks });
+            }
+            return Ok(results);
+        }
+
+        // Work-stealing queue: one shared counter of the next unclaimed
+        // task. Finished-early workers immediately claim pending indices,
+        // so load imbalance (one pathological loop among hundreds) costs at
+        // most one task of idle time per worker.
+        let next = AtomicUsize::new(0);
+        let task_ref = &task;
+        let parts: Vec<WorkerPart<T>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut local: Vec<(usize, T)> = Vec::new();
+                        let mut lost: Vec<usize> = Vec::new();
+                        loop {
+                            if cancelled() {
+                                break;
+                            }
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= total {
+                                break;
+                            }
+                            // Catch per-task panics so one bad loop cannot
+                            // take the other results on this worker with it.
+                            match catch_unwind(AssertUnwindSafe(|| task_ref(i, &items[i]))) {
+                                Ok(t) => {
+                                    local.push((i, t));
+                                    report(i);
+                                }
+                                Err(_) => lost.push(i),
+                            }
+                        }
+                        if lost.is_empty() {
+                            Ok(local)
+                        } else {
+                            Err(WorkerLoss { local, lost })
+                        }
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(part) => part,
+                    // `catch_unwind` above means scoped workers only die on
+                    // non-unwinding aborts; treat a lost handle as losing
+                    // whatever it had claimed.
+                    Err(_) => Err(WorkerLoss {
+                        local: Vec::new(),
+                        lost: Vec::new(),
+                    }),
+                })
+                .collect()
+        });
+
+        // Reassemble by task index: identical output order for any worker
+        // count and any interleaving.
+        let mut slots: Vec<Option<T>> = std::iter::repeat_with(|| None).take(total).collect();
+        let mut lost_tasks: Vec<usize> = Vec::new();
+        let mut worker_died = false;
+        for part in parts {
+            match part {
+                Ok(local) => {
+                    for (i, t) in local {
+                        slots[i] = Some(t);
+                    }
+                }
+                Err(loss) => {
+                    worker_died = true;
+                    lost_tasks.extend(loss.lost);
+                    for (i, t) in loss.local {
+                        slots[i] = Some(t);
+                    }
+                }
+            }
+        }
+        if worker_died {
+            lost_tasks.sort_unstable();
+            return Err(SweepError::WorkerPanicked { lost_tasks });
+        }
+        // A cancellation that raced in *after* the last task completed did
+        // not lose anything — return the full result set, like the serial
+        // path (whose loop has already exited by then) does.
+        let results: Vec<T> = slots.into_iter().flatten().collect();
+        if results.len() < total {
+            debug_assert!(cancelled(), "missing results without panic or cancel");
+            return Err(SweepError::Cancelled {
+                completed: done.load(Ordering::Relaxed),
+            });
+        }
+        Ok(results)
+    }
+}
+
+/// What a panicking worker managed to salvage: completed results plus the
+/// indices of the task(s) whose panics were caught.
+struct WorkerLoss<T> {
+    local: Vec<(usize, T)>,
+    lost: Vec<usize>,
+}
+
+/// One worker's contribution to a sweep: index-tagged results, or a
+/// [`WorkerLoss`] when any of its tasks panicked.
+type WorkerPart<T> = Result<Vec<(usize, T)>, WorkerLoss<T>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_in_item_order_for_any_worker_count() {
+        let items: Vec<u64> = (0..97).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for jobs in [1usize, 2, 3, 8, 64] {
+            let exec = SweepExecutor::new(jobs);
+            let got = exec.run(&items, |_, &x| x * x);
+            assert_eq!(got, expect, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn executor_clamps_to_at_least_one_worker() {
+        assert_eq!(SweepExecutor::new(0).jobs(), 1);
+        assert_eq!(SweepExecutor::serial().jobs(), 1);
+        assert!(SweepExecutor::from_env().jobs() >= 1);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let exec = SweepExecutor::new(4);
+        let got: Vec<u32> = exec.run(&[] as &[u32], |_, &x| x);
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn worker_panic_is_surfaced_as_an_error_not_a_hang() {
+        for jobs in [1usize, 4] {
+            let exec = SweepExecutor::new(jobs);
+            let items: Vec<usize> = (0..16).collect();
+            let out = exec.try_run(&items, |_, &x| {
+                assert!(x != 5, "task 5 exploded");
+                x
+            });
+            match out {
+                Err(SweepError::WorkerPanicked { lost_tasks }) => {
+                    assert!(lost_tasks.contains(&5), "jobs={jobs}: {lost_tasks:?}")
+                }
+                other => panic!("jobs={jobs}: expected WorkerPanicked, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn every_panicking_task_is_reported_for_any_worker_count() {
+        // The queue drains past panics in the serial path too, so
+        // `lost_tasks` is worker-count independent.
+        let items: Vec<usize> = (0..16).collect();
+        for jobs in [1usize, 4] {
+            let exec = SweepExecutor::new(jobs);
+            let out = exec.try_run(&items, |_, &x| {
+                assert!(x != 3 && x != 7, "tasks 3 and 7 explode");
+                x
+            });
+            assert_eq!(
+                out,
+                Err(SweepError::WorkerPanicked {
+                    lost_tasks: vec![3, 7]
+                }),
+                "jobs={jobs}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sweep worker panicked")]
+    fn run_reraises_worker_panics() {
+        let exec = SweepExecutor::new(2);
+        let items: Vec<usize> = (0..8).collect();
+        let _ = exec.run(&items, |_, &x| {
+            assert!(x != 3, "boom");
+            x
+        });
+    }
+
+    #[test]
+    fn pre_cancelled_sweep_runs_nothing() {
+        let exec = SweepExecutor::new(4);
+        let token = CancelToken::new();
+        token.cancel();
+        let hooks = SweepHooks {
+            progress: None,
+            cancel: Some(&token),
+        };
+        let items: Vec<usize> = (0..32).collect();
+        let out = exec.try_run_hooked(&items, |_, &x| x, &hooks);
+        assert_eq!(out, Err(SweepError::Cancelled { completed: 0 }));
+    }
+
+    #[test]
+    fn progress_hook_sees_every_completion() {
+        let count = AtomicUsize::new(0);
+        let progress = |_done: usize, total: usize| {
+            assert_eq!(total, 24);
+            count.fetch_add(1, Ordering::Relaxed);
+        };
+        let hooks = SweepHooks {
+            progress: Some(&progress),
+            cancel: None,
+        };
+        let items: Vec<usize> = (0..24).collect();
+        let exec = SweepExecutor::new(3);
+        let out = exec.try_run_hooked(&items, |_, &x| x + 1, &hooks).unwrap();
+        assert_eq!(out.len(), 24);
+        assert_eq!(count.load(Ordering::Relaxed), 24);
+    }
+
+    #[test]
+    fn errors_format_readably() {
+        let e = SweepError::WorkerPanicked {
+            lost_tasks: vec![3],
+        };
+        assert!(e.to_string().contains("lost tasks [3]"));
+        let c = SweepError::Cancelled { completed: 7 };
+        assert!(c.to_string().contains("after 7"));
+    }
+}

@@ -2,9 +2,9 @@
 //! number of registers is constrained to k × z = 64, plus the number of
 //! loops for which the baseline does not converge.
 
-use crate::runner::{run_workbench, SchedulerKind, WorkbenchSummary};
+use crate::runner::{run_sweep, SweepJob, WorkbenchSummary};
+use crate::sweep::SweepExecutor;
 use loopgen::Workbench;
-use mirs::PrefetchPolicy;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use vliw::MachineConfig;
@@ -75,10 +75,19 @@ fn row_from(
     }
 }
 
-/// Run the whole table on a workbench (k × z = 64 registers in total).
+/// Run the whole table on a workbench (k × z = 64 registers in total),
+/// sharding every (configuration, scheduler, loop) task across
+/// [`SweepExecutor::from_env`].
 #[must_use]
 pub fn run(wb: &Workbench) -> Table2 {
-    let mut rows = Vec::new();
+    run_with(&SweepExecutor::from_env(), wb)
+}
+
+/// [`run`] on an explicit executor.
+#[must_use]
+pub fn run_with(exec: &SweepExecutor, wb: &Workbench) -> Table2 {
+    let mut cells: Vec<(u32, u32)> = Vec::new();
+    let mut jobs: Vec<SweepJob> = Vec::new();
     for &k in &[1u32, 2, 4] {
         for &lm in &[1u32, 3] {
             let mc = MachineConfig::builder()
@@ -87,11 +96,17 @@ pub fn run(wb: &Workbench) -> Table2 {
                 .move_latency(lm)
                 .build()
                 .expect("valid constrained config");
-            let base = run_workbench(wb, &mc, SchedulerKind::Baseline, PrefetchPolicy::HitLatency);
-            let mirs = run_workbench(wb, &mc, SchedulerKind::MirsC, PrefetchPolicy::HitLatency);
-            rows.push(row_from(k, lm, &base, &mirs));
+            cells.push((k, lm));
+            jobs.push(SweepJob::baseline(mc.clone()));
+            jobs.push(SweepJob::mirs(mc));
         }
     }
+    let summaries = run_sweep(exec, wb, &jobs);
+    let rows = cells
+        .into_iter()
+        .zip(summaries.chunks_exact(2))
+        .map(|((k, lm), pair)| row_from(k, lm, &pair[0], &pair[1]))
+        .collect();
     Table2 { rows }
 }
 

@@ -1,9 +1,9 @@
 //! Table 3: scheduling (compile) time of the baseline [31] vs MIRS-C for
 //! several unbounded and register-constrained configurations.
 
-use crate::runner::{run_workbench, SchedulerKind};
+use crate::runner::{run_sweep, SweepJob};
+use crate::sweep::SweepExecutor;
 use loopgen::Workbench;
-use mirs::PrefetchPolicy;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use vliw::{ClusterConfig, MachineConfig};
@@ -32,10 +32,16 @@ pub struct Table3 {
     pub rows: Vec<Table3Row>,
 }
 
-/// Run the scheduling-time comparison on a workbench.
+/// Run the scheduling-time comparison on a workbench, sharding every
+/// (configuration, scheduler, loop) task across [`SweepExecutor::from_env`].
 #[must_use]
 pub fn run(wb: &Workbench) -> Table3 {
-    let mut rows = Vec::new();
+    run_with(&SweepExecutor::from_env(), wb)
+}
+
+/// [`run`] on an explicit executor.
+#[must_use]
+pub fn run_with(exec: &SweepExecutor, wb: &Workbench) -> Table3 {
     let configs: Vec<(String, u32, Option<u32>)> = vec![
         ("1 x inf".into(), 1, None),
         ("1 x 64".into(), 1, Some(64)),
@@ -44,6 +50,8 @@ pub fn run(wb: &Workbench) -> Table3 {
         ("4 x inf".into(), 4, None),
         ("4 x 16".into(), 4, Some(16)),
     ];
+    let mut cells: Vec<(String, u32)> = Vec::new();
+    let mut jobs: Vec<SweepJob> = Vec::new();
     for &lm in &[1u32, 3] {
         for (label, k, z) in &configs {
             let cluster = match z {
@@ -56,8 +64,17 @@ pub fn run(wb: &Workbench) -> Table3 {
                 .move_latency(lm)
                 .build()
                 .expect("valid config");
-            let base = run_workbench(wb, &mc, SchedulerKind::Baseline, PrefetchPolicy::HitLatency);
-            let mirs = run_workbench(wb, &mc, SchedulerKind::MirsC, PrefetchPolicy::HitLatency);
+            cells.push((label.clone(), lm));
+            jobs.push(SweepJob::baseline(mc.clone()));
+            jobs.push(SweepJob::mirs(mc));
+        }
+    }
+    let summaries = run_sweep(exec, wb, &jobs);
+    let rows = cells
+        .into_iter()
+        .zip(summaries.chunks_exact(2))
+        .map(|((config, move_latency), pair)| {
+            let (base, mirs) = (&pair[0], &pair[1]);
             let converged_idx: Vec<usize> = base
                 .outcomes
                 .iter()
@@ -73,16 +90,16 @@ pub fn run(wb: &Workbench) -> Table3 {
                 .iter()
                 .map(|&i| mirs.outcomes[i].scheduling_seconds)
                 .sum();
-            rows.push(Table3Row {
-                config: label.clone(),
-                move_latency: lm,
+            Table3Row {
+                config,
+                move_latency,
                 baseline_converged: converged_idx.len(),
                 baseline_seconds,
                 mirs_seconds_same_subset: mirs_same,
                 mirs_seconds_all: mirs.total_scheduling_seconds(),
-            });
-        }
-    }
+            }
+        })
+        .collect();
     Table3 { rows }
 }
 

@@ -26,12 +26,25 @@ use std::fmt;
 /// assert_eq!(mc.total_mem_ports(), 4);
 /// # Ok::<(), vliw::ConfigError>(())
 /// ```
+///
+/// # Thread safety
+///
+/// A built configuration is immutable plain data (`Send + Sync`, asserted
+/// at compile time below): one `MachineConfig` is shared by reference
+/// across every worker of a parallel workbench sweep, so nothing here may
+/// ever grow interior mutability or a lazily-populated cache without
+/// synchronisation.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct MachineConfig {
     clusters: Vec<ClusterConfig>,
     buses: u32,
     latencies: LatencyModel,
 }
+
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<MachineConfig>();
+};
 
 impl MachineConfig {
     /// Start building a custom machine.

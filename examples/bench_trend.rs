@@ -1,0 +1,512 @@
+//! Aggregate criterion measurements into a benchmark-trend report and gate
+//! CI on scheduling-time regressions.
+//!
+//! Reads every flat `target/criterion/<group>/summary.json` the vendored
+//! criterion harness writes (one file per bench group — no walking of the
+//! per-benchmark estimates tree), optionally loads the previous run's
+//! `BENCH_trend.json` as a baseline, and emits:
+//!
+//! * `BENCH_trend.json` — the current series plus per-entry baseline deltas,
+//! * a markdown table (appended to `--summary <file>`, e.g.
+//!   `$GITHUB_STEP_SUMMARY`),
+//! * exit code 1 when the **median** ratio current/baseline over the
+//!   sched-time series (benchmark ids containing `schedtime`, plus the
+//!   `sweep_scaling` group) exceeds `1 + --max-regress` (default 0.25).
+//!
+//! With no baseline file (first run, expired artifact) the gate is skipped
+//! gracefully: the report is still written and the exit code is 0.
+//!
+//! ```text
+//! cargo bench --bench mrt_microbench
+//! cargo run --release --example bench_trend -- \
+//!     --baseline prev/BENCH_trend.json --out BENCH_trend.json
+//! ```
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// One benchmark measurement (current or baseline).
+#[derive(Debug, Clone, PartialEq)]
+struct Entry {
+    id: String,
+    mean_ns: f64,
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON reader — enough for the flat summaries this repo writes.
+// The offline vendor/serde stub has no serde_json, so the subset is parsed
+// by hand: objects, arrays, double-quoted strings without escapes, numbers,
+// `true`/`false`/`null`.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Object(Vec<(String, Json)>),
+    Array(Vec<Json>),
+    Str(String),
+    Num(f64),
+    Bool(bool),
+    Null,
+}
+
+impl Json {
+    fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn parse(text: &'a str) -> Result<Json, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing input at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected '{}' at byte {}, found {:?}",
+                b as char,
+                self.pos,
+                self.bytes.get(self.pos).map(|&c| c as char)
+            ))
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(_) => self.number(),
+            None => Err("unexpected end of input".into()),
+        }
+    }
+
+    fn literal(&mut self, lit: &str, value: Json) -> Result<Json, String> {
+        self.skip_ws();
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(format!("expected '{lit}' at byte {}", self.pos))
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(fields));
+        }
+        loop {
+            let key = self.string()?;
+            self.expect(b':')?;
+            fields.push((key, self.value()?));
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Object(fields));
+                }
+                other => return Err(format!("expected ',' or '}}', found {other:?}")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                other => return Err(format!("expected ',' or ']', found {other:?}")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let start = self.pos;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b'"' {
+                let s = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|e| e.to_string())?
+                    .to_string();
+                self.pos += 1;
+                return Ok(s);
+            }
+            if b == b'\\' {
+                return Err("escape sequences are not supported".into());
+            }
+            self.pos += 1;
+        }
+        Err("unterminated string".into())
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|e| e.to_string())?;
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|e| format!("bad number {text:?}: {e}"))
+            .map(Ok)?
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Aggregation
+// ---------------------------------------------------------------------------
+
+/// Parse one group `summary.json` (or a `BENCH_trend.json` baseline, which
+/// uses the same `{"...": [{"id","mean_ns"}]}` entry shape under `entries`).
+fn entries_from(json: &Json, list_key: &str) -> Vec<Entry> {
+    json.get(list_key)
+        .and_then(Json::as_array)
+        .map(|items| {
+            items
+                .iter()
+                .filter_map(|item| {
+                    Some(Entry {
+                        id: item.get("id")?.as_str()?.to_string(),
+                        mean_ns: item.get("mean_ns")?.as_f64()?,
+                    })
+                })
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+/// Collect every `<criterion_dir>/<group>/summary.json`, sorted by id.
+fn collect_current(criterion_dir: &Path) -> Vec<Entry> {
+    let mut entries = Vec::new();
+    let Ok(groups) = std::fs::read_dir(criterion_dir) else {
+        return entries;
+    };
+    let mut paths: Vec<PathBuf> = groups
+        .flatten()
+        .map(|d| d.path().join("summary.json"))
+        .filter(|p| p.is_file())
+        .collect();
+    paths.sort();
+    for path in paths {
+        match std::fs::read_to_string(&path).map_err(|e| e.to_string()) {
+            Ok(text) => match Parser::parse(&text) {
+                Ok(json) => entries.extend(entries_from(&json, "benchmarks")),
+                Err(e) => eprintln!("bench_trend: skipping {}: {e}", path.display()),
+            },
+            Err(e) => eprintln!("bench_trend: skipping {}: {e}", path.display()),
+        }
+    }
+    entries.sort_by(|a, b| a.id.cmp(&b.id));
+    entries.dedup_by(|a, b| a.id == b.id);
+    entries
+}
+
+/// Whether a benchmark id belongs to the scheduling-time series the PR gate
+/// watches (Table 3 is a timing result; the sweep engine is its substrate).
+fn is_sched_time(id: &str) -> bool {
+    id.contains("schedtime") || id.starts_with("sweep_scaling/")
+}
+
+/// Median of a non-empty slice (the slice is sorted in place).
+fn median(values: &mut [f64]) -> f64 {
+    values.sort_by(|a, b| a.partial_cmp(b).expect("no NaN ratios"));
+    let n = values.len();
+    if n % 2 == 1 {
+        values[n / 2]
+    } else {
+        (values[n / 2 - 1] + values[n / 2]) / 2.0
+    }
+}
+
+fn json_escape_free(id: &str) -> String {
+    // Benchmark ids are generated by this repo from [A-Za-z0-9_./-]; strip
+    // anything else so hand-written JSON stays well-formed.
+    id.chars()
+        .filter(|c| c.is_ascii_alphanumeric() || matches!(c, '_' | '.' | '/' | '-' | ' '))
+        .collect()
+}
+
+fn write_trend_json(
+    out: &Path,
+    entries: &[Entry],
+    baseline: &BTreeMap<String, f64>,
+    median_sched_ratio: Option<f64>,
+) -> std::io::Result<()> {
+    let rows: Vec<String> = entries
+        .iter()
+        .map(|e| {
+            let base = baseline
+                .get(&e.id)
+                .map(|b| format!(",\"baseline_mean_ns\":{b:.1}"))
+                .unwrap_or_default();
+            format!(
+                "{{\"id\":\"{}\",\"mean_ns\":{:.1}{base}}}",
+                json_escape_free(&e.id),
+                e.mean_ns
+            )
+        })
+        .collect();
+    let ratio = median_sched_ratio
+        .map(|r| format!("{r:.4}"))
+        .unwrap_or_else(|| "null".into());
+    let json = format!(
+        "{{\"median_sched_ratio\":{ratio},\"entries\":[{}]}}\n",
+        rows.join(",")
+    );
+    std::fs::write(out, json)
+}
+
+fn markdown_report(
+    entries: &[Entry],
+    baseline: &BTreeMap<String, f64>,
+    median_sched_ratio: Option<f64>,
+    max_regress: f64,
+) -> String {
+    let mut md = String::from("## Benchmark trend\n\n");
+    match median_sched_ratio {
+        Some(r) => {
+            let verdict = if r > 1.0 + max_regress { "❌" } else { "✅" };
+            md.push_str(&format!(
+                "{verdict} median sched-time ratio vs previous run: **{r:.3}** \
+                 (gate fails above {:.2})\n\n",
+                1.0 + max_regress
+            ));
+        }
+        None => md.push_str("ℹ️ no baseline available — trend gate skipped\n\n"),
+    }
+    md.push_str("| benchmark | previous (ms) | current (ms) | Δ |\n");
+    md.push_str("|---|---:|---:|---:|\n");
+    for e in entries {
+        let cur_ms = e.mean_ns / 1e6;
+        match baseline.get(&e.id) {
+            Some(&b) if b > 0.0 => {
+                let delta = (e.mean_ns / b - 1.0) * 100.0;
+                md.push_str(&format!(
+                    "| `{}` | {:.3} | {cur_ms:.3} | {delta:+.1}% |\n",
+                    e.id,
+                    b / 1e6
+                ));
+            }
+            _ => md.push_str(&format!("| `{}` | — | {cur_ms:.3} | — |\n", e.id)),
+        }
+    }
+    md.push('\n');
+    md
+}
+
+struct Args {
+    criterion_dir: PathBuf,
+    baseline: Option<PathBuf>,
+    out: PathBuf,
+    summary: Option<PathBuf>,
+    max_regress: f64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        criterion_dir: PathBuf::from("target/criterion"),
+        baseline: None,
+        out: PathBuf::from("BENCH_trend.json"),
+        summary: None,
+        max_regress: 0.25,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut take = || it.next().ok_or(format!("{flag} needs a value"));
+        match flag.as_str() {
+            "--criterion-dir" => args.criterion_dir = PathBuf::from(take()?),
+            "--baseline" => args.baseline = Some(PathBuf::from(take()?)),
+            "--out" => args.out = PathBuf::from(take()?),
+            "--summary" => args.summary = Some(PathBuf::from(take()?)),
+            "--max-regress" => {
+                args.max_regress = take()?
+                    .parse()
+                    .map_err(|e| format!("bad --max-regress: {e}"))?;
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!(
+                "bench_trend: {e}\nusage: bench_trend [--criterion-dir DIR] [--baseline FILE] \
+                 [--out FILE] [--summary FILE] [--max-regress FRACTION]"
+            );
+            return ExitCode::from(2);
+        }
+    };
+
+    let entries = collect_current(&args.criterion_dir);
+    if entries.is_empty() {
+        eprintln!(
+            "bench_trend: no group summaries under {} — run `cargo bench` first",
+            args.criterion_dir.display()
+        );
+    }
+
+    // Baseline: the previous run's BENCH_trend.json (skipped gracefully
+    // when missing or unreadable — first run, expired artifact).
+    let mut baseline: BTreeMap<String, f64> = BTreeMap::new();
+    if let Some(path) = &args.baseline {
+        match std::fs::read_to_string(path) {
+            Ok(text) => match Parser::parse(&text) {
+                Ok(json) => {
+                    for e in entries_from(&json, "entries") {
+                        baseline.insert(e.id, e.mean_ns);
+                    }
+                    println!(
+                        "bench_trend: baseline {} ({} entries)",
+                        path.display(),
+                        baseline.len()
+                    );
+                }
+                Err(e) => eprintln!("bench_trend: ignoring baseline {}: {e}", path.display()),
+            },
+            Err(e) => eprintln!(
+                "bench_trend: no baseline at {} ({e}); gate skipped",
+                path.display()
+            ),
+        }
+    }
+
+    let mut sched_ratios: Vec<f64> = entries
+        .iter()
+        .filter(|e| is_sched_time(&e.id))
+        .filter_map(|e| baseline.get(&e.id).map(|&b| (e.mean_ns, b)))
+        .filter(|&(_, b)| b > 0.0)
+        .map(|(cur, b)| cur / b)
+        .collect();
+    let median_sched_ratio = if sched_ratios.is_empty() {
+        None
+    } else {
+        Some(median(&mut sched_ratios))
+    };
+
+    if let Err(e) = write_trend_json(&args.out, &entries, &baseline, median_sched_ratio) {
+        eprintln!("bench_trend: cannot write {}: {e}", args.out.display());
+        return ExitCode::from(2);
+    }
+    println!(
+        "bench_trend: wrote {} ({} entries)",
+        args.out.display(),
+        entries.len()
+    );
+
+    let md = markdown_report(&entries, &baseline, median_sched_ratio, args.max_regress);
+    match &args.summary {
+        Some(path) => {
+            use std::io::Write as _;
+            let appended = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+                .and_then(|mut f| f.write_all(md.as_bytes()));
+            if let Err(e) = appended {
+                eprintln!("bench_trend: cannot append to {}: {e}", path.display());
+            }
+        }
+        None => print!("{md}"),
+    }
+
+    match median_sched_ratio {
+        Some(r) if r > 1.0 + args.max_regress => {
+            eprintln!(
+                "bench_trend: FAIL — median sched-time ratio {r:.3} exceeds {:.3}",
+                1.0 + args.max_regress
+            );
+            ExitCode::FAILURE
+        }
+        Some(r) => {
+            println!("bench_trend: OK — median sched-time ratio {r:.3}");
+            ExitCode::SUCCESS
+        }
+        None => {
+            println!("bench_trend: OK — no baseline, gate skipped");
+            ExitCode::SUCCESS
+        }
+    }
+}

@@ -1,16 +1,24 @@
 //! End-to-end scheduler-throughput probe: times full MIRS-C passes over a
-//! loopgen workbench on the paper's register-constrained configurations.
+//! loopgen workbench on the paper's register-constrained configurations,
+//! serial and parallel.
 //!
-//! This is the workload behind the ≥2× flat-MRT speedup claim; run it in
-//! release mode before and after touching the scheduler's hot loop:
+//! This is the workload behind the flat-MRT and parallel-sweep speedup
+//! claims; run it in release mode before and after touching the scheduler's
+//! hot loop or the sweep engine:
 //!
 //! ```text
 //! cargo run --release --example sched_time
+//! cargo run --release --example sched_time -- --jobs 4
 //! MIRS_SCHEDTIME_LOOPS=100 MIRS_SCHEDTIME_REPEATS=5 \
-//!     cargo run --release --example sched_time
+//!     cargo run --release --example sched_time -- --jobs 1
 //! ```
+//!
+//! `--jobs N` (or `MIRS_JOBS=N`) sets the worker count; `--jobs 1` is a
+//! genuinely serial run — the baseline of every speedup number printed in
+//! the last two columns. Schedules are byte-identical for any worker count.
 
-use harness::runner::{time_workbench, SchedulerKind};
+use harness::runner::{time_workbench_with, SchedulerKind};
+use harness::sweep::SweepExecutor;
 use loopgen::{Workbench, WorkbenchParams};
 use mirs::PrefetchPolicy;
 use vliw::MachineConfig;
@@ -22,21 +30,44 @@ fn env_usize(name: &str, default: usize) -> usize {
         .unwrap_or(default)
 }
 
+/// Value of `--jobs N` (also accepts `--jobs=N`), if present.
+fn jobs_arg() -> Option<usize> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--jobs" {
+            return it.next().and_then(|v| v.parse().ok());
+        }
+        if let Some(v) = a.strip_prefix("--jobs=") {
+            return v.parse().ok();
+        }
+    }
+    None
+}
+
 fn main() {
     let loops = env_usize("MIRS_SCHEDTIME_LOOPS", 60);
     let repeats = env_usize("MIRS_SCHEDTIME_REPEATS", 3) as u32;
+    let exec = match jobs_arg() {
+        Some(jobs) => SweepExecutor::new(jobs),
+        None => SweepExecutor::from_env(),
+    };
     let wb = Workbench::generate(&WorkbenchParams {
         loops,
         ..WorkbenchParams::default()
     });
-    println!("scheduling {loops} loops x {repeats} passes per configuration\n");
     println!(
-        "{:<18} {:>12} {:>12} {:>14}",
-        "config", "best (s)", "mean (s)", "loops/s (best)"
+        "scheduling {loops} loops x {repeats} passes per configuration on {} worker(s)\n",
+        exec.jobs()
+    );
+    println!(
+        "{:<18} {:>12} {:>12} {:>12} {:>14} {:>8}",
+        "config", "sched (s)", "mean (s)", "wall (s)", "loops/s (wall)", "speedup"
     );
     for (k, regs) in [(1u32, 64u32), (2, 32), (4, 16)] {
         let machine = MachineConfig::paper_config(k, regs).expect("paper config");
-        let trial = time_workbench(
+        let trial = time_workbench_with(
+            &exec,
             &wb,
             &machine,
             SchedulerKind::MirsC,
@@ -44,11 +75,13 @@ fn main() {
             repeats,
         );
         println!(
-            "{:<18} {:>12.4} {:>12.4} {:>14.1}",
+            "{:<18} {:>12.4} {:>12.4} {:>12.4} {:>14.1} {:>7.2}x",
             trial.config,
             trial.best_seconds(),
             trial.mean_seconds(),
-            trial.loops as f64 / trial.best_seconds()
+            trial.best_wall_seconds(),
+            trial.loops as f64 / trial.best_wall_seconds(),
+            trial.speedup()
         );
     }
 }

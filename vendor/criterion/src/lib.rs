@@ -58,13 +58,13 @@ impl Criterion {
         self.filters.is_empty() || self.filters.iter().any(|f| id.contains(f.as_str()))
     }
 
-    fn run_one<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) {
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> Option<Duration> {
         if self.list_mode {
             println!("{id}: benchmark");
-            return;
+            return None;
         }
         if !self.matches(id) {
-            return;
+            return None;
         }
         let mut b = Bencher {
             samples: if self.test_mode { 1 } else { self.sample_size },
@@ -76,8 +76,12 @@ impl Criterion {
             Some(mean) if !self.test_mode => {
                 println!("{id:<40} time: {:>12.3} ms/iter", mean.as_secs_f64() * 1e3);
                 write_estimates(id, mean, samples);
+                Some(mean)
             }
-            _ => println!("{id}: ok"),
+            _ => {
+                println!("{id}: ok");
+                None
+            }
         }
     }
 
@@ -92,6 +96,7 @@ impl Criterion {
         BenchmarkGroup {
             criterion: self,
             name: name.to_owned(),
+            results: Vec::new(),
         }
     }
 
@@ -103,6 +108,9 @@ impl Criterion {
 pub struct BenchmarkGroup<'a> {
     criterion: &'a mut Criterion,
     name: String,
+    /// Means measured in this group, in registration order, for the flat
+    /// per-group `summary.json` written by [`BenchmarkGroup::finish`].
+    results: Vec<(String, Duration)>,
 }
 
 impl BenchmarkGroup<'_> {
@@ -116,12 +124,19 @@ impl BenchmarkGroup<'_> {
     /// Registers and runs one benchmark inside the group.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
         let full = format!("{}/{id}", self.name);
-        self.criterion.run_one(&full, f);
+        if let Some(mean) = self.criterion.run_one(&full, f) {
+            self.results.push((full, mean));
+        }
         self
     }
 
-    /// Ends the group.
-    pub fn finish(self) {}
+    /// Ends the group, writing `target/criterion/<group>/summary.json` — a
+    /// flat digest of every measurement in the group so trend tooling reads
+    /// one file per group instead of walking the per-benchmark estimate
+    /// tree.
+    pub fn finish(self) {
+        write_group_summary(&self.name, &self.results);
+    }
 }
 
 /// Persist one measurement as `target/criterion/<id>/new/estimates.json`,
@@ -130,28 +145,10 @@ impl BenchmarkGroup<'_> {
 /// knowing which implementation produced them. Failures are ignored: a
 /// read-only filesystem must never fail a bench run.
 fn write_estimates(id: &str, mean: Duration, samples: u32) {
-    let target = std::env::var_os("CARGO_TARGET_DIR")
-        .map(std::path::PathBuf::from)
-        .or_else(|| {
-            // The bench executable lives in target/<profile>/deps/.
-            let exe = std::env::current_exe().ok()?;
-            Some(exe.parent()?.parent()?.parent()?.to_path_buf())
-        });
-    let Some(target) = target else { return };
+    let Some(target) = target_dir() else { return };
     let mut dir = target.join("criterion");
     for part in id.split('/') {
-        // Benchmark ids are our own (group/name); keep path characters tame.
-        let safe: String = part
-            .chars()
-            .map(|c| {
-                if c.is_ascii_alphanumeric() || c == '_' || c == '-' || c == '.' {
-                    c
-                } else {
-                    '_'
-                }
-            })
-            .collect();
-        dir = dir.join(safe);
+        dir = dir.join(sanitize(part));
     }
     dir = dir.join("new");
     if std::fs::create_dir_all(&dir).is_err() {
@@ -162,6 +159,66 @@ fn write_estimates(id: &str, mean: Duration, samples: u32) {
         mean.as_secs_f64() * 1e9
     );
     let _ = std::fs::write(dir.join("estimates.json"), json);
+}
+
+/// Persist one benchmark group's measurements as
+/// `target/criterion/<group>/summary.json`:
+///
+/// ```json
+/// {"group":"sweep_scaling","benchmarks":[
+///   {"id":"sweep_scaling/jobs_1","mean_ns":12345.0}, ...]}
+/// ```
+///
+/// The flat shape lets CI trend tooling glob `target/criterion/*/summary.json`
+/// instead of walking the whole per-benchmark estimates tree. Failures are
+/// ignored for the same reason as in [`write_estimates`].
+fn write_group_summary(group: &str, results: &[(String, Duration)]) {
+    if results.is_empty() {
+        return;
+    }
+    let Some(target) = target_dir() else { return };
+    let dir = target.join("criterion").join(sanitize(group));
+    if std::fs::create_dir_all(&dir).is_err() {
+        return;
+    }
+    let entries: Vec<String> = results
+        .iter()
+        .map(|(id, mean)| {
+            format!(
+                "{{\"id\":\"{id}\",\"mean_ns\":{:.1}}}",
+                mean.as_secs_f64() * 1e9
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\"group\":\"{group}\",\"benchmarks\":[{}]}}\n",
+        entries.join(",")
+    );
+    let _ = std::fs::write(dir.join("summary.json"), json);
+}
+
+/// The cargo target directory, from `CARGO_TARGET_DIR` or relative to the
+/// bench executable (which lives in `target/<profile>/deps/`).
+fn target_dir() -> Option<std::path::PathBuf> {
+    std::env::var_os("CARGO_TARGET_DIR")
+        .map(std::path::PathBuf::from)
+        .or_else(|| {
+            let exe = std::env::current_exe().ok()?;
+            Some(exe.parent()?.parent()?.parent()?.to_path_buf())
+        })
+}
+
+/// Benchmark ids are our own (group/name); keep path characters tame.
+fn sanitize(part: &str) -> String {
+    part.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == '-' || c == '.' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
 }
 
 /// Mirrors `criterion::black_box` (re-export of [`std::hint::black_box`]).
