@@ -4,7 +4,7 @@ use crate::scheduler::SchedState;
 use ddg::{NodeId, NodeOrigin, OperationData, ValueId};
 use vliw::{ClusterId, OpClass, Opcode, ResourceKind};
 
-impl SchedState<'_> {
+impl SchedState<'_, '_> {
     /// Select the most appropriate cluster for `node` (step C1).
     ///
     /// Clusters are ranked, in the paper's order of importance, by
@@ -14,6 +14,13 @@ impl SchedState<'_> {
     ///    values produced/consumed by already scheduled neighbours, and
     /// 3. the occupancy of the functional-unit class the operation needs.
     pub(crate) fn select_cluster(&self, node: NodeId) -> ClusterId {
+        if self.machine.clusters() == 1 {
+            // One candidate: the ranking (a window computation and a free-
+            // slot probe per cluster) cannot change the answer. This is the
+            // common case of the unified paper configuration and sits on
+            // the per-node hot path.
+            return ClusterId::ZERO;
+        }
         let opcode = self.graph.op(node).opcode;
         let mut best: Option<(ClusterId, (i64, i64, i64))> = None;
         for cluster in self.machine.cluster_ids() {
@@ -132,15 +139,21 @@ impl SchedState<'_> {
 
         // --- exports -------------------------------------------------------
         if let Some(dest) = self.graph.op(node).dest {
-            let consumers = self.graph.consumers_of(dest);
+            // Borrowed scan first: the common case has no consumer scheduled
+            // in another cluster, and then no owned consumer list (which the
+            // rewiring below needs, as it mutates the graph) is built.
             let mut dst_clusters: Vec<ClusterId> = Vec::new();
-            for c in &consumers {
-                if let Some(cc) = self.sched.cluster_of(*c) {
+            for &c in self.graph.consumer_ids(dest) {
+                if let Some(cc) = self.sched.cluster_of(c) {
                     if cc != cluster && !dst_clusters.contains(&cc) {
                         dst_clusters.push(cc);
                     }
                 }
             }
+            if dst_clusters.is_empty() {
+                return new_moves;
+            }
+            let consumers = self.graph.consumers_of(dest);
             for dst in dst_clusters {
                 let mv = if let Some(existing) = self.move_of_value_into(dest, dst) {
                     existing

@@ -56,6 +56,7 @@ mod priority;
 mod result;
 mod schedule;
 mod scheduler;
+mod scratch;
 mod slots;
 mod spill;
 
@@ -65,3 +66,4 @@ pub use prefetch::apply_prefetch_policy;
 pub use result::{Placement, ScheduleResult, SchedulerStats, ValidationError};
 pub use schedule::PartialSchedule;
 pub use scheduler::MirsScheduler;
+pub use scratch::SchedScratch;

@@ -25,10 +25,14 @@ pub fn apply_prefetch_policy(
     policy: &PrefetchPolicy,
     trip_count: u64,
 ) -> usize {
+    // One node-id snapshot serves both policies (iterating and mutating the
+    // graph at once is not possible, and collecting per branch doubled the
+    // allocation on the scheduler's per-loop setup path).
+    let nodes: Vec<_> = graph.node_ids().collect();
     match policy {
         PrefetchPolicy::HitLatency => {
-            for n in graph.node_ids().collect::<Vec<_>>() {
-                if graph.op(n).opcode.is_load() {
+            for n in nodes {
+                if graph.op(n).opcode.is_load() && graph.op(n).mem_latency != MemLatency::Hit {
                     graph.op_mut(n).mem_latency = MemLatency::Hit;
                 }
             }
@@ -40,7 +44,7 @@ pub fn apply_prefetch_policy(
             }
             let in_recurrence = recurrence::nodes_in_recurrences(graph, lat);
             let mut marked = 0;
-            for n in graph.node_ids().collect::<Vec<_>>() {
+            for n in nodes {
                 let op = graph.op(n).opcode;
                 if op != Opcode::Load {
                     continue; // spill loads keep hit latency
@@ -81,16 +85,18 @@ mod tests {
         b.finish(1000)
     }
 
+    /// Apply `policy` to one working copy of the loop's graph — the single
+    /// clone site shared by every test below.
+    fn applied(lp: &ddg::Loop, policy: &PrefetchPolicy) -> (ddg::DepGraph, usize) {
+        let mut g = lp.graph.clone();
+        let marked = apply_prefetch_policy(&mut g, &LatencyModel::default(), policy, lp.trip_count);
+        (g, marked)
+    }
+
     #[test]
     fn hit_policy_marks_nothing() {
         let lp = loop_with_recurrence_load();
-        let mut g = lp.graph.clone();
-        let n = apply_prefetch_policy(
-            &mut g,
-            &LatencyModel::default(),
-            &PrefetchPolicy::HitLatency,
-            lp.trip_count,
-        );
+        let (g, n) = applied(&lp, &PrefetchPolicy::HitLatency);
         assert_eq!(n, 0);
         assert!(g.node_ids().all(|n| g.op(n).mem_latency == MemLatency::Hit));
     }
@@ -98,12 +104,9 @@ mod tests {
     #[test]
     fn selective_policy_skips_recurrence_loads() {
         let lp = loop_with_recurrence_load();
-        let mut g = lp.graph.clone();
-        let marked = apply_prefetch_policy(
-            &mut g,
-            &LatencyModel::default(),
+        let (g, marked) = applied(
+            &lp,
             &PrefetchPolicy::SelectiveBinding { min_trip_count: 16 },
-            lp.trip_count,
         );
         assert_eq!(marked, 1, "only the streaming load is prefetched");
         let miss_loads = g
@@ -116,14 +119,11 @@ mod tests {
     #[test]
     fn short_loops_are_not_prefetched() {
         let lp = loop_with_recurrence_load();
-        let mut g = lp.graph.clone();
-        let marked = apply_prefetch_policy(
-            &mut g,
-            &LatencyModel::default(),
+        let (_g, marked) = applied(
+            &lp,
             &PrefetchPolicy::SelectiveBinding {
                 min_trip_count: 5000,
             },
-            lp.trip_count,
         );
         assert_eq!(marked, 0);
     }

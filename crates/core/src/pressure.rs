@@ -69,6 +69,19 @@ impl PressureTracker {
         }
     }
 
+    /// Reset to the state [`PressureTracker::new`] would build, reusing the
+    /// dirty-tracking storage (the per-cluster maps are re-made because the
+    /// II changes between attempts).
+    pub fn reset(&mut self, clusters: usize, ii: u32, values: usize) {
+        self.maps.clear();
+        self.maps.resize(clusters, PressureMap::new(ii));
+        self.recorded.clear();
+        self.recorded.resize(values, Contribution::None);
+        self.dirty.clear();
+        self.dirty_flag.clear();
+        self.dirty_flag.resize(values, false);
+    }
+
     /// Mark one value stale.
     pub fn mark_value(&mut self, v: ValueId) {
         if v.index() >= self.dirty_flag.len() {

@@ -25,14 +25,20 @@ impl PriorityList {
     /// priority).
     #[must_use]
     pub fn from_order(order: &[NodeId]) -> Self {
-        let rank: HashMap<NodeId, f64> = order
-            .iter()
-            .enumerate()
-            .map(|(i, &n)| (n, i as f64))
-            .collect();
-        Self {
-            rank,
-            pending: order.to_vec(),
+        let mut list = Self::default();
+        list.reset_from_order(order);
+        list
+    }
+
+    /// Reload the list from an HRMS ordering, forgetting all previous ranks
+    /// and pending nodes but keeping the allocations — equivalent to
+    /// [`PriorityList::from_order`] on a warmed buffer.
+    pub fn reset_from_order(&mut self, order: &[NodeId]) {
+        self.rank.clear();
+        self.pending.clear();
+        self.pending.extend_from_slice(order);
+        for (i, &n) in order.iter().enumerate() {
+            self.rank.insert(n, i as f64);
         }
     }
 

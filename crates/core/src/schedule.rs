@@ -80,6 +80,34 @@ impl PartialSchedule {
         }
     }
 
+    /// Reset to the empty schedule [`PartialSchedule::new`] would build for
+    /// `machine` at `ii`, reusing the MRT storage (cell vectors keep their
+    /// capacity, occupant lists keep theirs where the shape allows). The
+    /// result is observably identical to a fresh construction — the
+    /// scheduler's attempt loop relies on that to reuse one buffer across
+    /// II restarts and loops.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ii == 0`.
+    pub fn reset(&mut self, machine: &MachineConfig, ii: u32) {
+        assert!(ii > 0, "the initiation interval must be positive");
+        self.ii = ii;
+        self.indexer = machine.resource_indexer();
+        self.caps = machine.capacity_vector();
+        let cells = self.indexer.len() * ii as usize;
+        self.counts.clear();
+        self.counts.resize(cells, 0);
+        for occ in &mut self.occupants {
+            occ.clear();
+        }
+        self.occupants.resize_with(cells, Vec::new);
+        self.occupancy_by_kind.clear();
+        self.occupancy_by_kind.resize(self.indexer.len(), 0);
+        self.placements.clear();
+        self.next_order = 0;
+    }
+
     /// Initiation interval of the schedule.
     #[must_use]
     pub fn ii(&self) -> u32 {

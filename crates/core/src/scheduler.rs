@@ -8,10 +8,35 @@ use crate::pressure::PressureTracker;
 use crate::priority::PriorityList;
 use crate::result::{Placement, ScheduleResult, SchedulerStats};
 use crate::schedule::PartialSchedule;
+use crate::scratch::SchedScratch;
 use ddg::collections::HashMap;
 use ddg::{hrms, mii, DepGraph, Loop, NodeId};
+use std::sync::OnceLock;
 use std::time::Instant;
 use vliw::{ClusterId, MachineConfig, Opcode, ReservationTable};
+
+/// Whether `MIRS_DEBUG` diagnostics are enabled — read from the
+/// environment once per process, not once per scheduled loop: sweeps
+/// schedule thousands of loops and `std::env::var` takes a lock.
+fn debug_enabled() -> bool {
+    static FLAG: OnceLock<bool> = OnceLock::new();
+    *FLAG.get_or_init(|| std::env::var("MIRS_DEBUG").is_ok())
+}
+
+/// Whether the rollback audit is enabled: every restart clones the
+/// attempt-start graph and asserts the transactional rollback reproduced it
+/// bit-identically. Always on in debug builds; opt-in for release builds
+/// via `MIRS_GRAPH_AUDIT=1` (any value but `0`), which is how CI exercises
+/// the equivalence guarantee under the release profile.
+fn graph_audit_enabled() -> bool {
+    static FLAG: OnceLock<bool> = OnceLock::new();
+    *FLAG.get_or_init(|| {
+        cfg!(debug_assertions)
+            || std::env::var("MIRS_GRAPH_AUDIT")
+                .map(|v| v != "0")
+                .unwrap_or(false)
+    })
+}
 
 /// Direction in which the scheduler searches for a free slot.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -31,10 +56,15 @@ pub(crate) struct Window {
 }
 
 /// Mutable state of one scheduling attempt (one II value).
-pub(crate) struct SchedState<'m> {
+///
+/// The graph is *borrowed*: all attempts of one scheduling run share a
+/// single working graph, mutated inside a transaction and rolled back
+/// between II restarts. Every other component comes from (and returns to)
+/// the run's [`SchedScratch`], so an attempt allocates almost nothing.
+pub(crate) struct SchedState<'m, 'g> {
     pub machine: &'m MachineConfig,
     pub opts: SchedulerOptions,
-    pub graph: DepGraph,
+    pub graph: &'g mut DepGraph,
     pub sched: PartialSchedule,
     pub plist: PriorityList,
     /// Cycle at which each node was scheduled the last time (before a
@@ -60,8 +90,8 @@ pub(crate) struct SchedState<'m> {
     /// Incrementally maintained per-cluster register-pressure gauges.
     pub pressure: PressureTracker,
     /// Whether `MIRS_DEBUG` diagnostics are enabled — resolved once per
-    /// scheduling run; the restart heuristic must not hit the environment on
-    /// every iteration of the scheduling loop.
+    /// *process* (a `OnceLock`); neither the restart heuristic nor the
+    /// sweep's per-loop setup may hit the environment.
     pub debug: bool,
     pub stats: SchedulerStats,
 }
@@ -122,24 +152,66 @@ impl<'m> MirsScheduler<'m> {
     /// [`ScheduleError::NotConverged`] if no valid schedule is found before
     /// the II exceeds [`SchedulerOptions::max_ii`].
     pub fn schedule(&self, lp: &Loop) -> Result<ScheduleResult, ScheduleError> {
+        self.schedule_with(lp, &mut SchedScratch::default())
+    }
+
+    /// [`MirsScheduler::schedule`] with caller-provided scratch buffers.
+    ///
+    /// The scratch amortises every per-attempt allocation (MRT arrays,
+    /// pressure gauges, priority list, bookkeeping maps) across II restarts
+    /// and across loops; the parallel sweep harness keeps one scratch per
+    /// worker thread. Results are byte-identical to [`MirsScheduler::schedule`]
+    /// for any reuse pattern.
+    ///
+    /// Internally one working graph is cloned from `lp` per call; every II
+    /// attempt mutates it inside a [`DepGraph`] transaction and rolls back
+    /// on restart, so the attempt loop itself performs **zero** graph
+    /// clones. In debug builds (or with `MIRS_GRAPH_AUDIT=1`) each restart
+    /// asserts that the rollback reproduced the attempt-start graph
+    /// bit-identically.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`MirsScheduler::schedule`].
+    pub fn schedule_with(
+        &self,
+        lp: &Loop,
+        scratch: &mut SchedScratch,
+    ) -> Result<ScheduleResult, ScheduleError> {
         if lp.graph.node_count() == 0 {
             return Err(ScheduleError::EmptyLoop {
                 loop_name: lp.name.clone(),
             });
         }
         let start = Instant::now();
-        let debug = std::env::var("MIRS_DEBUG").is_ok();
+        let debug = debug_enabled();
+        let audit = graph_audit_enabled();
         let lat = self.machine.latencies();
-        let mut base_graph = lp.graph.clone();
-        apply_prefetch_policy(&mut base_graph, lat, &self.opts.prefetch, lp.trip_count);
+        // The one graph clone of the whole run: every attempt works on this
+        // graph transactionally and is rolled back on restart.
+        let mut graph = lp.graph.clone();
+        apply_prefetch_policy(&mut graph, lat, &self.opts.prefetch, lp.trip_count);
 
-        let bounds = mii::mii(
-            &base_graph,
-            lat,
+        // Recurrences feed both the RecMII bound and the HRMS ordering —
+        // derive them once instead of running Tarjan + the per-circuit
+        // binary searches twice per loop.
+        let recs = ddg::recurrence::recurrences(&graph, lat);
+        let bounds = mii::mii_with_recurrences(
+            &graph,
+            &recs,
             self.machine.total_gp_units(),
             self.machine.total_mem_ports(),
         );
         let mii_value = bounds.mii();
+        // The HRMS order depends only on graph structure, and a rollback
+        // restores both the structure and the epoch — so one ordering
+        // serves every restart. The epoch check keeps the cache honest
+        // should an edit ever escape the transaction discipline.
+        let mut order = hrms::hrms_order_with(&graph, lat, &recs);
+        let mut order_epoch = graph.structural_epoch();
+        // Invariant across restarts for the same reason the order is: the
+        // rollback restores the graph bit-identically at attempt start.
+        let mem_ops_base = graph.count_ops(Opcode::is_memory) as u64;
         let mut ii = mii_value;
         let mut restarts = 0u32;
         let mut carried_stats = SchedulerStats::default();
@@ -150,13 +222,38 @@ impl<'m> MirsScheduler<'m> {
                     last_ii: ii - 1,
                 });
             }
-            match self.attempt(lp, &base_graph, ii, mii_value, debug, &mut carried_stats) {
+            if graph.structural_epoch() != order_epoch {
+                order = hrms::hrms_order(&graph, lat);
+                order_epoch = graph.structural_epoch();
+            }
+            let cp = graph.checkpoint();
+            let audit_base = if audit { Some(graph.clone()) } else { None };
+            match self.attempt(
+                &lp.name,
+                &mut graph,
+                &order,
+                ii,
+                mii_value,
+                mem_ops_base,
+                debug,
+                scratch,
+                &mut carried_stats,
+            ) {
                 AttemptOutcome::Success(mut result) => {
                     result.stats.restarts = restarts;
                     result.stats.scheduling_seconds = start.elapsed().as_secs_f64();
                     return Ok(*result);
                 }
                 AttemptOutcome::Restart => {
+                    graph.rollback_to(&cp);
+                    if let Some(base) = &audit_base {
+                        assert!(
+                            graph.same_content(base),
+                            "transactional rollback diverged from the attempt-start graph \
+                             for loop '{}' at II {ii}",
+                            lp.name
+                        );
+                    }
                     restarts += 1;
                     ii += 1;
                 }
@@ -165,31 +262,42 @@ impl<'m> MirsScheduler<'m> {
     }
 
     /// One scheduling attempt at a fixed II (steps 1–6 of Figure 4).
+    ///
+    /// The caller owns the transaction: `graph` arrives checkpointed, this
+    /// function mutates it freely (spill/move insertion, rewiring), and on
+    /// [`AttemptOutcome::Restart`] the caller rolls those edits back. On
+    /// success the transaction is committed and the graph moved into the
+    /// result.
+    #[allow(clippy::too_many_arguments)]
     fn attempt(
         &self,
-        lp: &Loop,
-        base_graph: &DepGraph,
+        loop_name: &str,
+        graph: &mut DepGraph,
+        order: &[NodeId],
         ii: u32,
         mii_value: u32,
+        mem_ops_base: u64,
         debug: bool,
+        scratch: &mut SchedScratch,
         carried: &mut SchedulerStats,
     ) -> AttemptOutcome {
-        let lat = self.machine.latencies();
-        let graph = base_graph.clone();
-        let order = hrms::hrms_order(&graph, lat);
         let budget = i64::from(self.opts.budget_ratio) * order.len() as i64;
-        let pressure = PressureTracker::new(self.machine.clusters(), ii, graph.value_count());
-        let mem_ops_base = graph.count_ops(Opcode::is_memory) as u64;
+        let pressure = scratch.take_pressure(self.machine.clusters(), ii, graph.value_count());
+        debug_assert_eq!(
+            mem_ops_base,
+            graph.count_ops(Opcode::is_memory) as u64,
+            "memory-op count drifted across a restart (rollback incomplete?)"
+        );
         let mut st = SchedState {
             machine: self.machine,
             opts: self.opts,
+            sched: scratch.take_sched(self.machine, ii),
+            plist: scratch.take_plist(order),
+            prev_cycle: scratch.take_prev_cycle(),
+            move_route: scratch.take_move_route(),
+            move_into: scratch.take_move_into(),
+            spill_store_of: scratch.take_spill_store_of(),
             graph,
-            sched: PartialSchedule::new(self.machine, ii),
-            plist: PriorityList::from_order(&order),
-            prev_cycle: HashMap::default(),
-            move_route: HashMap::default(),
-            move_into: HashMap::default(),
-            spill_store_of: HashMap::default(),
             mem_ops_base,
             budget,
             spills_inserted: 0,
@@ -234,6 +342,7 @@ impl<'m> MirsScheduler<'m> {
             if non_iterative_failure {
                 // Backtracking disabled and no free slot: give up on this II.
                 *carried = st.stats;
+                st.reclaim_into(scratch);
                 return AttemptOutcome::Restart;
             }
 
@@ -243,6 +352,7 @@ impl<'m> MirsScheduler<'m> {
             // (6) restart heuristic.
             if st.should_restart() {
                 *carried = st.stats;
+                st.reclaim_into(scratch);
                 return AttemptOutcome::Restart;
             }
             st.budget -= 1;
@@ -259,15 +369,30 @@ impl<'m> MirsScheduler<'m> {
             .all(|(c, &rr)| rr <= st.machine.registers_in(c));
         if !fits {
             *carried = st.stats;
+            st.reclaim_into(scratch);
             return AttemptOutcome::Restart;
         }
 
-        let result = st.into_result(&lp.name, ii, mii_value);
+        let result = st.into_result(scratch, loop_name, ii, mii_value);
         AttemptOutcome::Success(Box::new(result))
     }
 }
 
-impl SchedState<'_> {
+impl SchedState<'_, '_> {
+    /// Return every scratch-owned buffer of this attempt so the next one
+    /// reuses the allocations. The borrowed graph is simply released.
+    pub(crate) fn reclaim_into(self, scratch: &mut SchedScratch) {
+        scratch.reclaim(
+            self.sched,
+            self.pressure,
+            self.plist,
+            self.prev_cycle,
+            self.move_route,
+            self.move_into,
+            self.spill_store_of,
+        );
+    }
+
     /// Reservation table of `node` when executed on `cluster`.
     pub(crate) fn reservation_for(&self, node: NodeId, cluster: ClusterId) -> ReservationTable {
         let op = self.graph.op(node);
@@ -296,7 +421,7 @@ impl SchedState<'_> {
         let rt = self.reservation_for(node, cluster);
         if let Some(cycle) = self.find_free_slot(&rt, window) {
             self.sched.place(node, cycle, cluster, rt);
-            self.pressure.touch_node(&self.graph, node);
+            self.pressure.touch_node(self.graph, node);
             self.prev_cycle.insert(node, cycle);
             return true;
         }
@@ -365,7 +490,7 @@ impl SchedState<'_> {
             }
         }
         self.sched.place(node, forced_cycle, cluster, rt);
-        self.pressure.touch_node(&self.graph, node);
+        self.pressure.touch_node(self.graph, node);
         self.prev_cycle.insert(node, forced_cycle);
 
         // Eject previously scheduled predecessors and successors whose
@@ -417,7 +542,7 @@ impl SchedState<'_> {
     /// will be reconsidered when the node is picked up again.
     pub(crate) fn eject_node(&mut self, node: NodeId) {
         let cycle = self.sched.eject(node);
-        self.pressure.touch_node(&self.graph, node);
+        self.pressure.touch_node(self.graph, node);
         self.prev_cycle.insert(node, cycle);
         self.stats.ejections += 1;
         self.plist.push_back(node);
@@ -545,8 +670,16 @@ impl SchedState<'_> {
         false
     }
 
-    /// Package the finished attempt as a [`ScheduleResult`].
-    fn into_result(mut self, loop_name: &str, ii: u32, mii_value: u32) -> ScheduleResult {
+    /// Package the finished attempt as a [`ScheduleResult`]: commit the
+    /// graph transaction, take ownership of the working graph and hand the
+    /// scratch buffers back for the next loop.
+    fn into_result(
+        mut self,
+        scratch: &mut SchedScratch,
+        loop_name: &str,
+        ii: u32,
+        mii_value: u32,
+    ) -> ScheduleResult {
         let min_cycle = self.sched.min_cycle().unwrap_or(0);
         let max_cycle = self.sched.max_cycle().unwrap_or(0);
         let placements: HashMap<NodeId, Placement> = self
@@ -568,17 +701,22 @@ impl SchedState<'_> {
         self.stats.spill_stores = self.graph.count_ops(|o| o == Opcode::SpillStore) as u32;
         self.stats.spill_loads = self.graph.count_ops(|o| o == Opcode::SpillLoad) as u32;
         self.stats.moves = moves;
+        self.graph.commit();
+        let graph = std::mem::take(&mut *self.graph);
+        let stats = self.stats;
+        let span = u32::try_from(max_cycle - min_cycle).unwrap_or(0);
+        self.reclaim_into(scratch);
         ScheduleResult {
             loop_name: loop_name.to_string(),
             ii,
             mii: mii_value,
-            graph: self.graph,
+            graph,
             placements,
             max_live,
             memory_traffic,
             moves,
-            span: u32::try_from(max_cycle - min_cycle).unwrap_or(0),
-            stats: self.stats,
+            span,
+            stats,
         }
     }
 }

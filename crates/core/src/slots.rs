@@ -5,7 +5,7 @@ use crate::scheduler::{Direction, SchedState, Window};
 use ddg::{NodeId, NodeOrigin};
 use vliw::ReservationTable;
 
-impl SchedState<'_> {
+impl SchedState<'_, '_> {
     /// Earliest cycle at which `node` can issue so that all of its already
     /// scheduled predecessors complete first.
     pub(crate) fn early_start(&self, node: NodeId) -> Option<i64> {

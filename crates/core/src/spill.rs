@@ -38,7 +38,7 @@ struct SpillCandidate {
     ratio: f64,
 }
 
-impl SchedState<'_> {
+impl SchedState<'_, '_> {
     /// Per-cluster lifetime intervals and invariant counts of the current
     /// partial schedule. A value's register lives in the cluster of its
     /// producer; loop invariants occupy one register in every cluster with a
@@ -96,7 +96,7 @@ impl SchedState<'_> {
     /// `MaxLive` per cluster of the current partial schedule, read from the
     /// incremental pressure gauges.
     pub(crate) fn register_requirements(&mut self) -> Vec<u32> {
-        self.pressure.flush(&self.graph, &self.sched);
+        self.pressure.flush(self.graph, &self.sched);
         debug_assert!(self.pressure_matches_scratch());
         self.pressure.max_live_per_cluster()
     }
@@ -140,7 +140,7 @@ impl SchedState<'_> {
             // Bounded number of spill actions per invocation; the heuristic
             // runs again after every scheduled node anyway.
             for _ in 0..4 {
-                self.pressure.flush(&self.graph, &self.sched);
+                self.pressure.flush(self.graph, &self.sched);
                 debug_assert!(self.pressure_matches_scratch());
                 let gauge = self.pressure.cluster(cluster.index());
                 let rr = gauge.max_live();

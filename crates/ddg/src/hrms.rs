@@ -22,7 +22,7 @@
 use crate::collections::{HashMap, HashSet};
 use crate::graph::DepGraph;
 use crate::ids::NodeId;
-use crate::recurrence::recurrences;
+use crate::recurrence::{recurrences, Recurrence};
 use vliw::LatencyModel;
 
 /// Compute the HRMS-style priority order of all live nodes.
@@ -30,17 +30,29 @@ use vliw::LatencyModel;
 /// The first element has the highest priority (it is scheduled first).
 #[must_use]
 pub fn hrms_order(g: &DepGraph, lat: &LatencyModel) -> Vec<NodeId> {
+    hrms_order_with(g, lat, &recurrences(g, lat))
+}
+
+/// [`hrms_order`] on an already-computed recurrence set.
+///
+/// The scheduler derives the recurrences once per loop (they also feed the
+/// `RecMII` bound through [`crate::mii::mii_with_recurrences`]) and shares
+/// them here instead of running a second Tarjan + per-circuit binary
+/// search on its setup path.
+#[must_use]
+pub fn hrms_order_with(g: &DepGraph, lat: &LatencyModel, recs: &[Recurrence]) -> Vec<NodeId> {
     let nodes: Vec<NodeId> = g.node_ids().collect();
     if nodes.is_empty() {
         return Vec::new();
     }
-    let height = heights(g, lat);
-    let recs = recurrences(g, lat);
+    let height = heights_dense(g, lat);
+    let adj = Adjacency::build(g);
+    let mut counts = adj.initial_counts();
 
     let mut ordered: Vec<NodeId> = Vec::with_capacity(nodes.len());
     let mut placed: HashSet<NodeId> = HashSet::default();
 
-    for rec in &recs {
+    for rec in recs {
         let mut set: HashSet<NodeId> = rec
             .nodes
             .iter()
@@ -53,9 +65,9 @@ pub fn hrms_order(g: &DepGraph, lat: &LatencyModel) -> Vec<NodeId> {
         // Extend with nodes on paths between the already-ordered region and
         // this recurrence (in either direction) so intermediate nodes are
         // ordered before later, less constrained sets.
-        let path = path_nodes(g, &placed, &set);
+        let path = path_nodes(g, &adj, &placed, &set);
         set.extend(path);
-        order_set(g, &set, &height, &mut ordered, &mut placed);
+        order_set(&adj, &set, &height, &mut counts, &mut ordered, &mut placed);
     }
 
     // Remaining nodes (not in any recurrence or connecting path).
@@ -65,10 +77,75 @@ pub fn hrms_order(g: &DepGraph, lat: &LatencyModel) -> Vec<NodeId> {
         .filter(|n| !placed.contains(n))
         .collect();
     if !rest.is_empty() {
-        order_set(g, &rest, &height, &mut ordered, &mut placed);
+        order_set(&adj, &rest, &height, &mut counts, &mut ordered, &mut placed);
     }
     debug_assert_eq!(ordered.len(), nodes.len());
     ordered
+}
+
+/// Deduplicated neighbour lists (self-edges excluded), indexed by node id —
+/// built once per ordering instead of re-derived (with an allocation) for
+/// every candidate of every pick, which made the ordering pass O(set² ·
+/// degree) and the single most expensive part of per-loop setup once the
+/// scheduler stopped cloning graphs.
+struct Adjacency {
+    preds: Vec<Vec<NodeId>>,
+    succs: Vec<Vec<NodeId>>,
+}
+
+impl Adjacency {
+    fn build(g: &DepGraph) -> Self {
+        let cap = g.node_capacity();
+        let mut preds: Vec<Vec<NodeId>> = vec![Vec::new(); cap];
+        let mut succs: Vec<Vec<NodeId>> = vec![Vec::new(); cap];
+        for n in g.node_ids() {
+            // Same dedup-in-edge-order semantics as `DepGraph::predecessors`
+            // / `successors`, minus self-edges (the ordering ignores them).
+            for &e in g.in_edge_ids(n) {
+                let from = g.edge(e).from;
+                if from != n && !preds[n.index()].contains(&from) {
+                    preds[n.index()].push(from);
+                }
+            }
+            for &e in g.out_edge_ids(n) {
+                let to = g.edge(e).to;
+                if to != n && !succs[n.index()].contains(&to) {
+                    succs[n.index()].push(to);
+                }
+            }
+        }
+        Self { preds, succs }
+    }
+
+    /// Per-node counts of yet-unordered unique predecessors/successors
+    /// (everything starts unordered).
+    fn initial_counts(&self) -> NeighbourCounts {
+        NeighbourCounts {
+            preds: self.preds.iter().map(|p| p.len() as i64).collect(),
+            succs: self.succs.iter().map(|s| s.len() as i64).collect(),
+        }
+    }
+}
+
+/// Incrementally maintained |unique neighbours ∉ placed| per node: exactly
+/// the quantity the readiness test of `order_set` needs, updated in
+/// O(degree) per placed node.
+struct NeighbourCounts {
+    preds: Vec<i64>,
+    succs: Vec<i64>,
+}
+
+impl NeighbourCounts {
+    /// Record that `n` was ordered: each neighbour has one fewer unordered
+    /// counterpart.
+    fn place(&mut self, adj: &Adjacency, n: NodeId) {
+        for &s in &adj.succs[n.index()] {
+            self.preds[s.index()] -= 1;
+        }
+        for &p in &adj.preds[n.index()] {
+            self.succs[p.index()] -= 1;
+        }
+    }
 }
 
 /// Longest-path height of every node over intra-iteration (distance 0)
@@ -76,21 +153,35 @@ pub fn hrms_order(g: &DepGraph, lat: &LatencyModel) -> Vec<NodeId> {
 /// Deeper nodes are more urgent.
 #[must_use]
 pub fn heights(g: &DepGraph, lat: &LatencyModel) -> HashMap<NodeId, i64> {
-    let nodes: Vec<NodeId> = g.node_ids().collect();
-    let mut height: HashMap<NodeId, i64> = nodes.iter().map(|&n| (n, 0)).collect();
+    let dense = heights_dense(g, lat);
+    g.node_ids().map(|n| (n, dense[n.index()])).collect()
+}
+
+/// [`heights`] as a dense per-node-id array (removed ids hold 0) — the
+/// allocation-light form the ordering loop indexes directly.
+fn heights_dense(g: &DepGraph, lat: &LatencyModel) -> Vec<i64> {
+    let mut height: Vec<i64> = vec![0; g.node_capacity()];
+    // Hoist the distance-0 edges (with their latencies) out of the fixpoint
+    // rounds: the relaxation re-reads them up to |V| times.
+    let edges: Vec<(usize, usize, i64)> = g
+        .edge_ids()
+        .filter_map(|e| {
+            let edge = g.edge(e);
+            if edge.distance != 0 {
+                return None;
+            }
+            Some((edge.from.index(), edge.to.index(), g.edge_latency(e, lat)))
+        })
+        .collect();
     // The distance-0 subgraph is acyclic (a zero-distance cycle would make
     // the loop unschedulable), so a simple relaxation to fixpoint converges
     // in at most |V| rounds.
-    for _ in 0..nodes.len() {
+    for _ in 0..g.node_capacity() {
         let mut changed = false;
-        for e in g.edge_ids() {
-            let edge = g.edge(e);
-            if edge.distance != 0 {
-                continue;
-            }
-            let cand = height[&edge.to] + g.edge_latency(e, lat);
-            if cand > height[&edge.from] {
-                height.insert(edge.from, cand);
+        for &(from, to, latency) in &edges {
+            let cand = height[to] + latency;
+            if cand > height[from] {
+                height[from] = cand;
                 changed = true;
             }
         }
@@ -103,14 +194,19 @@ pub fn heights(g: &DepGraph, lat: &LatencyModel) -> HashMap<NodeId, i64> {
 
 /// Nodes lying on a dependence path (any direction, distance-0 edges)
 /// between `from_set` and `to_set`, excluding nodes already in either set.
-fn path_nodes(g: &DepGraph, a: &HashSet<NodeId>, b: &HashSet<NodeId>) -> Vec<NodeId> {
+fn path_nodes(
+    g: &DepGraph,
+    adj: &Adjacency,
+    a: &HashSet<NodeId>,
+    b: &HashSet<NodeId>,
+) -> Vec<NodeId> {
     if a.is_empty() || b.is_empty() {
         return Vec::new();
     }
-    let down_a = reach(g, a, true);
-    let up_b = reach(g, b, false);
-    let down_b = reach(g, b, true);
-    let up_a = reach(g, a, false);
+    let down_a = reach(adj, a, true);
+    let up_b = reach(adj, b, false);
+    let down_b = reach(adj, b, true);
+    let up_a = reach(adj, a, false);
     g.node_ids()
         .filter(|n| !a.contains(n) && !b.contains(n))
         .filter(|n| {
@@ -119,16 +215,16 @@ fn path_nodes(g: &DepGraph, a: &HashSet<NodeId>, b: &HashSet<NodeId>) -> Vec<Nod
         .collect()
 }
 
-fn reach(g: &DepGraph, start: &HashSet<NodeId>, forward: bool) -> HashSet<NodeId> {
+fn reach(adj: &Adjacency, start: &HashSet<NodeId>, forward: bool) -> HashSet<NodeId> {
     let mut seen: HashSet<NodeId> = start.clone();
     let mut stack: Vec<NodeId> = start.iter().copied().collect();
     while let Some(n) = stack.pop() {
         let next = if forward {
-            g.successors(n)
+            &adj.succs[n.index()]
         } else {
-            g.predecessors(n)
+            &adj.preds[n.index()]
         };
-        for m in next {
+        for &m in next {
             if seen.insert(m) {
                 stack.push(m);
             }
@@ -146,10 +242,17 @@ fn reach(g: &DepGraph, start: &HashSet<NodeId>, forward: bool) -> HashSet<NodeId
 /// height is placed first. If a cycle makes no node ready (the last node of
 /// a recurrence circuit), the node with fewest unordered neighbours breaks
 /// the tie.
+///
+/// The readiness counts come from the incrementally maintained
+/// [`NeighbourCounts`] (identical values to a per-candidate neighbour
+/// scan); candidate iteration still walks the same hash set in the same
+/// order, so ties resolve exactly as before and the produced ordering is
+/// unchanged.
 fn order_set(
-    g: &DepGraph,
+    adj: &Adjacency,
     set: &HashSet<NodeId>,
-    height: &HashMap<NodeId, i64>,
+    height: &[i64],
+    counts: &mut NeighbourCounts,
     ordered: &mut Vec<NodeId>,
     placed: &mut HashSet<NodeId>,
 ) {
@@ -161,21 +264,13 @@ fn order_set(
     while !remaining.is_empty() {
         let mut best: Option<(NodeId, (i64, i64))> = None;
         for &n in &remaining {
-            let unordered_preds = g
-                .predecessors(n)
-                .into_iter()
-                .filter(|p| !placed.contains(p) && *p != n)
-                .count() as i64;
-            let unordered_succs = g
-                .successors(n)
-                .into_iter()
-                .filter(|s| !placed.contains(s) && *s != n)
-                .count() as i64;
+            let unordered_preds = counts.preds[n.index()];
+            let unordered_succs = counts.succs[n.index()];
             let ready = unordered_preds == 0 || unordered_succs == 0;
             // Primary key: readiness; secondary: height; tertiary: fewer
             // unordered neighbours (to close recurrences quickly).
             let key = (
-                if ready { 1 } else { 0 } * 1_000_000 + height.get(&n).copied().unwrap_or(0),
+                if ready { 1 } else { 0 } * 1_000_000 + height[n.index()],
                 -(unordered_preds + unordered_succs),
             );
             match best {
@@ -186,6 +281,7 @@ fn order_set(
         let (chosen, _) = best.expect("remaining set is non-empty");
         remaining.remove(&chosen);
         placed.insert(chosen);
+        counts.place(adj, chosen);
         ordered.push(chosen);
     }
 }

@@ -9,9 +9,8 @@
 //! `MII = max(ResMII, RecMII)` is the starting II of both the MIRS-C
 //! scheduler and the non-iterative baseline.
 
-use crate::collections::HashSet;
 use crate::graph::DepGraph;
-use crate::recurrence::has_positive_cycle_restricted;
+use crate::recurrence::{rec_mii_of_graph, Recurrence};
 use serde::{Deserialize, Serialize};
 use vliw::{LatencyModel, OpClass};
 
@@ -64,22 +63,7 @@ pub fn res_mii(g: &DepGraph, gp_units: u32, mem_ports: u32) -> u32 {
 /// dependence-constraint graph has no positive cycle.
 #[must_use]
 pub fn rec_mii(g: &DepGraph, lat: &LatencyModel) -> u32 {
-    if g.is_empty() {
-        return 1;
-    }
-    let empty: HashSet<crate::NodeId> = HashSet::default();
-    let upper = g.latency_sum(lat).max(1);
-    let mut lo = 1u64;
-    let mut hi = upper;
-    while lo < hi {
-        let mid = (lo + hi) / 2;
-        if has_positive_cycle_restricted(g, &empty, lat, mid as i64) {
-            lo = mid + 1;
-        } else {
-            hi = mid;
-        }
-    }
-    u32::try_from(lo).unwrap_or(u32::MAX)
+    rec_mii_of_graph(g, lat)
 }
 
 /// Both bounds at once.
@@ -88,6 +72,26 @@ pub fn mii(g: &DepGraph, lat: &LatencyModel, gp_units: u32, mem_ports: u32) -> M
     MiiBounds {
         res_mii: res_mii(g, gp_units, mem_ports),
         rec_mii: rec_mii(g, lat),
+    }
+}
+
+/// Both bounds from an already-computed recurrence set.
+///
+/// A positive cycle of the whole constraint graph always lies inside one
+/// strongly connected component, so `RecMII` equals the maximum per-circuit
+/// `rec_mii` (1 when there is none). Callers that need the recurrences
+/// anyway — the scheduler computes them for the HRMS ordering — get the
+/// bounds without a second whole-graph binary search.
+#[must_use]
+pub fn mii_with_recurrences(
+    g: &DepGraph,
+    recs: &[Recurrence],
+    gp_units: u32,
+    mem_ports: u32,
+) -> MiiBounds {
+    MiiBounds {
+        res_mii: res_mii(g, gp_units, mem_ports),
+        rec_mii: recs.iter().map(|r| r.rec_mii).max().unwrap_or(1),
     }
 }
 

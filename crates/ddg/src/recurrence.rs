@@ -4,7 +4,6 @@
 //! the HRMS node ordering (recurrences are scheduled first) and selective
 //! binding prefetching (loads inside recurrences keep the hit latency).
 
-use crate::collections::HashMap;
 use crate::graph::DepGraph;
 use crate::ids::NodeId;
 use vliw::LatencyModel;
@@ -25,13 +24,21 @@ pub struct Recurrence {
 /// Components are returned in reverse topological order (callees of Tarjan's
 /// algorithm); singleton components without self edges are included, so the
 /// result partitions the node set.
+///
+/// State is kept in dense per-node-id arrays and successors are walked
+/// straight off the adjacency lists (duplicate targets from parallel edges
+/// only repeat an idempotent lowlink update, so the discovered components —
+/// and their emission order — match the deduplicated walk exactly). The
+/// function runs once per scheduled loop on the setup path, where the old
+/// hash-map state and per-node successor allocations were measurable.
 #[must_use]
 pub fn strongly_connected_components(g: &DepGraph) -> Vec<Vec<NodeId>> {
+    const UNVISITED: u32 = u32::MAX;
     struct Tarjan<'a> {
         g: &'a DepGraph,
-        index: HashMap<NodeId, u32>,
-        lowlink: HashMap<NodeId, u32>,
-        on_stack: HashMap<NodeId, bool>,
+        index: Vec<u32>,
+        lowlink: Vec<u32>,
+        on_stack: Vec<bool>,
         stack: Vec<NodeId>,
         next_index: u32,
         sccs: Vec<Vec<NodeId>>,
@@ -39,46 +46,47 @@ pub fn strongly_connected_components(g: &DepGraph) -> Vec<Vec<NodeId>> {
 
     impl Tarjan<'_> {
         fn strongconnect(&mut self, v: NodeId) {
-            // Iterative Tarjan to avoid deep recursion on long chains.
-            let mut call_stack: Vec<(NodeId, Vec<NodeId>, usize)> =
-                vec![(v, self.g.successors(v), 0)];
-            self.index.insert(v, self.next_index);
-            self.lowlink.insert(v, self.next_index);
+            // Iterative Tarjan to avoid deep recursion on long chains. Each
+            // frame is (node, position in its out-edge list).
+            let mut call_stack: Vec<(NodeId, usize)> = vec![(v, 0)];
+            self.index[v.index()] = self.next_index;
+            self.lowlink[v.index()] = self.next_index;
             self.next_index += 1;
             self.stack.push(v);
-            self.on_stack.insert(v, true);
+            self.on_stack[v.index()] = true;
 
-            while let Some((node, succs, mut i)) = call_stack.pop() {
+            while let Some((node, mut i)) = call_stack.pop() {
                 let mut descended = false;
-                while i < succs.len() {
-                    let w = succs[i];
+                let out = self.g.out_edge_ids(node);
+                while i < out.len() {
+                    let w = self.g.edge(out[i]).to;
                     i += 1;
-                    if !self.index.contains_key(&w) {
+                    if self.index[w.index()] == UNVISITED {
                         // Descend into w.
-                        self.index.insert(w, self.next_index);
-                        self.lowlink.insert(w, self.next_index);
+                        self.index[w.index()] = self.next_index;
+                        self.lowlink[w.index()] = self.next_index;
                         self.next_index += 1;
                         self.stack.push(w);
-                        self.on_stack.insert(w, true);
-                        call_stack.push((node, succs, i));
-                        call_stack.push((w, self.g.successors(w), 0));
+                        self.on_stack[w.index()] = true;
+                        call_stack.push((node, i));
+                        call_stack.push((w, 0));
                         descended = true;
                         break;
-                    } else if self.on_stack.get(&w).copied().unwrap_or(false) {
-                        let wl = self.index[&w];
-                        let nl = self.lowlink[&node];
-                        self.lowlink.insert(node, nl.min(wl));
+                    } else if self.on_stack[w.index()] {
+                        let wl = self.index[w.index()];
+                        let nl = self.lowlink[node.index()];
+                        self.lowlink[node.index()] = nl.min(wl);
                     }
                 }
                 if descended {
                     continue;
                 }
                 // Finished node: pop SCC if root, propagate lowlink to parent.
-                if self.lowlink[&node] == self.index[&node] {
+                if self.lowlink[node.index()] == self.index[node.index()] {
                     let mut scc = Vec::new();
                     loop {
                         let w = self.stack.pop().expect("tarjan stack underflow");
-                        self.on_stack.insert(w, false);
+                        self.on_stack[w.index()] = false;
                         scc.push(w);
                         if w == node {
                             break;
@@ -86,30 +94,114 @@ pub fn strongly_connected_components(g: &DepGraph) -> Vec<Vec<NodeId>> {
                     }
                     self.sccs.push(scc);
                 }
-                if let Some((parent, _, _)) = call_stack.last() {
-                    let nl = self.lowlink[&node];
-                    let pl = self.lowlink[parent];
-                    self.lowlink.insert(*parent, pl.min(nl));
+                if let Some(&(parent, _)) = call_stack.last() {
+                    let nl = self.lowlink[node.index()];
+                    let pl = self.lowlink[parent.index()];
+                    self.lowlink[parent.index()] = pl.min(nl);
                 }
             }
         }
     }
 
+    let cap = g.node_capacity();
     let mut t = Tarjan {
         g,
-        index: HashMap::default(),
-        lowlink: HashMap::default(),
-        on_stack: HashMap::default(),
+        index: vec![UNVISITED; cap],
+        lowlink: vec![0; cap],
+        on_stack: vec![false; cap],
         stack: Vec::new(),
         next_index: 0,
         sccs: Vec::new(),
     };
     for n in g.node_ids() {
-        if !t.index.contains_key(&n) {
+        if t.index[n.index()] == UNVISITED {
             t.strongconnect(n);
         }
     }
     t.sccs
+}
+
+/// One edge of a dense constraint graph: `(from, to, latency, distance)`.
+/// At initiation interval `ii` its weight is `latency − ii · distance`.
+type ConstraintEdge = (usize, usize, i64, i64);
+
+/// Collect the constraint edges of the subgraph induced by `nodes` once, in
+/// dense indices — the binary searches below probe the same edge set at
+/// many II values, and re-deriving it per probe dominated their cost.
+fn constraint_edges(g: &DepGraph, nodes: &[NodeId], lat: &LatencyModel) -> Vec<ConstraintEdge> {
+    let mut idx = vec![usize::MAX; g.node_capacity()];
+    for (i, &n) in nodes.iter().enumerate() {
+        idx[n.index()] = i;
+    }
+    g.edge_ids()
+        .filter_map(|e| {
+            let edge = g.edge(e);
+            let f = idx[edge.from.index()];
+            let t = idx[edge.to.index()];
+            if f == usize::MAX || t == usize::MAX {
+                return None;
+            }
+            Some((f, t, g.edge_latency(e, lat), i64::from(edge.distance)))
+        })
+        .collect()
+}
+
+/// Whether the dense constraint graph has a positive-weight cycle at `ii`.
+///
+/// Longest-path Bellman-Ford from a virtual source connected to everything
+/// with weight 0: a positive cycle exists iff some distance still improves
+/// after `node_count` relaxation rounds.
+fn has_positive_cycle(node_count: usize, edges: &[ConstraintEdge], ii: i64) -> bool {
+    if node_count == 0 {
+        return false;
+    }
+    let mut dist = vec![0i64; node_count];
+    for round in 0..=node_count {
+        let mut changed = false;
+        for &(f, t, latency, distance) in edges {
+            let w = latency - ii * distance;
+            if dist[f] + w > dist[t] {
+                dist[t] = dist[f] + w;
+                changed = true;
+            }
+        }
+        if !changed {
+            return false;
+        }
+        if round == node_count {
+            return true;
+        }
+    }
+    false
+}
+
+/// Smallest `ii ∈ [1, upper]` at which `edges` has no positive cycle.
+fn min_ii_without_positive_cycle(node_count: usize, edges: &[ConstraintEdge], upper: u64) -> u32 {
+    let mut lo = 1u64;
+    let mut hi = upper.max(1);
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        if has_positive_cycle(node_count, edges, mid as i64) {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    u32::try_from(lo).unwrap_or(u32::MAX)
+}
+
+/// Lower bound on the II imposed by the whole graph's recurrences: the
+/// smallest `ii` such that the full constraint graph (edge weight
+/// `latency − ii · distance`) has no positive cycle. This is `RecMII`;
+/// [`crate::mii::rec_mii`] delegates here.
+#[must_use]
+pub fn rec_mii_of_graph(g: &DepGraph, lat: &LatencyModel) -> u32 {
+    if g.is_empty() {
+        return 1;
+    }
+    let nodes: Vec<NodeId> = g.node_ids().collect();
+    let edges = constraint_edges(g, &nodes, lat);
+    min_ii_without_positive_cycle(nodes.len(), &edges, g.latency_sum(lat).max(1))
 }
 
 /// Lower bound on the II imposed by the subgraph induced by `nodes`.
@@ -120,75 +212,13 @@ pub fn strongly_connected_components(g: &DepGraph) -> Vec<Vec<NodeId>> {
 pub fn rec_mii_of(g: &DepGraph, nodes: &[NodeId], lat: &LatencyModel) -> u32 {
     if nodes.len() == 1 {
         let n = nodes[0];
-        let has_self_edge = g.out_edges(n).iter().any(|&e| g.edge(e).to == n);
+        let has_self_edge = g.out_edge_ids(n).iter().any(|&e| g.edge(e).to == n);
         if !has_self_edge {
             return 1;
         }
     }
-    let upper = g.latency_sum(lat).max(1);
-    let mut lo = 1u64;
-    let mut hi = upper;
-    let member: crate::collections::HashSet<NodeId> = nodes.iter().copied().collect();
-    while lo < hi {
-        let mid = (lo + hi) / 2;
-        if has_positive_cycle_restricted(g, &member, lat, mid as i64) {
-            lo = mid + 1;
-        } else {
-            hi = mid;
-        }
-    }
-    u32::try_from(lo).unwrap_or(u32::MAX)
-}
-
-/// Whether the constraint graph (restricted to `member`, or the whole graph
-/// when `member` is empty) has a positive-weight cycle at initiation
-/// interval `ii` (edge weight `latency − ii · distance`).
-pub(crate) fn has_positive_cycle_restricted(
-    g: &DepGraph,
-    member: &crate::collections::HashSet<NodeId>,
-    lat: &LatencyModel,
-    ii: i64,
-) -> bool {
-    let restrict = !member.is_empty();
-    let nodes: Vec<NodeId> = g
-        .node_ids()
-        .filter(|n| !restrict || member.contains(n))
-        .collect();
-    if nodes.is_empty() {
-        return false;
-    }
-    let idx: HashMap<NodeId, usize> = nodes.iter().enumerate().map(|(i, &n)| (n, i)).collect();
-    // Longest-path Bellman-Ford from a virtual source connected to everything
-    // with weight 0: a positive cycle exists iff some distance still improves
-    // after |V| relaxation rounds.
-    let mut dist = vec![0i64; nodes.len()];
-    let edges: Vec<(usize, usize, i64)> = g
-        .edge_ids()
-        .filter_map(|e| {
-            let edge = g.edge(e);
-            let (Some(&f), Some(&t)) = (idx.get(&edge.from), idx.get(&edge.to)) else {
-                return None;
-            };
-            let w = g.edge_latency(e, lat) - ii * i64::from(edge.distance);
-            Some((f, t, w))
-        })
-        .collect();
-    for round in 0..=nodes.len() {
-        let mut changed = false;
-        for &(f, t, w) in &edges {
-            if dist[f] + w > dist[t] {
-                dist[t] = dist[f] + w;
-                changed = true;
-            }
-        }
-        if !changed {
-            return false;
-        }
-        if round == nodes.len() {
-            return true;
-        }
-    }
-    false
+    let edges = constraint_edges(g, nodes, lat);
+    min_ii_without_positive_cycle(nodes.len(), &edges, g.latency_sum(lat).max(1))
 }
 
 /// All recurrence circuits of the graph with their `RecMII` contribution,
@@ -197,7 +227,12 @@ pub(crate) fn has_positive_cycle_restricted(
 pub fn recurrences(g: &DepGraph, lat: &LatencyModel) -> Vec<Recurrence> {
     let mut recs: Vec<Recurrence> = strongly_connected_components(g)
         .into_iter()
-        .filter(|scc| scc.len() > 1 || g.out_edges(scc[0]).iter().any(|&e| g.edge(e).to == scc[0]))
+        .filter(|scc| {
+            scc.len() > 1
+                || g.out_edge_ids(scc[0])
+                    .iter()
+                    .any(|&e| g.edge(e).to == scc[0])
+        })
         .map(|nodes| {
             let rec_mii = rec_mii_of(g, &nodes, lat);
             Recurrence { nodes, rec_mii }

@@ -1,0 +1,251 @@
+//! Property tests for the transactional `DepGraph` layer: any sequence of
+//! valid structural edits, rolled back, must leave the graph *bit-identical*
+//! to the pre-checkpoint snapshot — nodes, values, edges (including
+//! tombstones and id-allocation state), adjacency-list order, the
+//! value→consumers index and the structural epoch.
+//!
+//! Edits are generated fuzzer-style: a vector of random words is
+//! interpreted against the *current* graph state, so every generated
+//! operation is valid by construction (remove only live edges/nodes,
+//! rewire only existing values) while still covering the scheduler-shaped
+//! mix of spill insertion, move insertion/removal, operand rewiring and
+//! payload mutation.
+
+use ddg::{DepEdge, DepGraph, DepKind, EdgeId, NodeId, NodeOrigin, OperationData, ValueId};
+use proptest::prelude::*;
+use vliw::{MemLatency, Opcode};
+
+/// Full-state fingerprint used to double-check `same_content` symmetry.
+fn snapshot(g: &DepGraph) -> (usize, usize, Vec<NodeId>, Vec<EdgeId>) {
+    (
+        g.value_count(),
+        g.node_capacity(),
+        g.node_ids().collect(),
+        g.edge_ids().collect(),
+    )
+}
+
+/// Seed graph shaped like a small loop body: a couple of loads feeding
+/// arithmetic, a store, one loop-carried edge and an invariant.
+fn seed_graph() -> DepGraph {
+    let mut g = DepGraph::new();
+    let inv = g.add_value("c", true);
+    let x = g.add_value("x", false);
+    let y = g.add_value("y", false);
+    let t = g.add_value("t", false);
+    let lx = g.add_node(OperationData::new(Opcode::Load, Some(x), vec![]));
+    let ly = g.add_node(OperationData::new(Opcode::Load, Some(y), vec![]));
+    let mul = g.add_node(OperationData::new(Opcode::FpMul, Some(t), vec![inv, x]));
+    let add = g.add_node(OperationData::new(Opcode::FpAdd, None, vec![t, y]));
+    g.add_flow(lx, mul, x, 0);
+    g.add_flow(ly, add, y, 0);
+    g.add_flow(mul, add, t, 0);
+    g.add_edge(DepEdge {
+        from: add,
+        to: lx,
+        kind: DepKind::RegAnti,
+        distance: 1,
+        delay_override: None,
+        value: Some(x),
+    });
+    g
+}
+
+/// Interpret one random word as a valid structural edit. Returns whether
+/// anything was mutated (pure no-ops keep the word budget honest).
+fn apply_edit(g: &mut DepGraph, word: u64) -> bool {
+    let live_nodes: Vec<NodeId> = g.node_ids().collect();
+    let live_edges: Vec<EdgeId> = g.edge_ids().collect();
+    let pick_node = |w: u64| live_nodes[(w % live_nodes.len() as u64) as usize];
+    let pick_value = |w: u64| ValueId((w % g.value_count() as u64) as u32);
+    match word % 8 {
+        // Register a fresh value.
+        0 => {
+            g.add_value(format!("v{}", g.value_count()), word % 16 == 0);
+            true
+        }
+        // Insert a consumer node reading one or two existing values.
+        1 => {
+            let a = pick_value(word >> 3);
+            let b = pick_value(word >> 17);
+            let srcs = if word & 0x100 != 0 {
+                vec![a, b]
+            } else {
+                vec![a]
+            };
+            let dest = if word & 0x200 != 0 {
+                Some(g.add_value(format!("d{}", g.value_count()), false))
+            } else {
+                None
+            };
+            g.add_node(OperationData::new(Opcode::FpAdd, dest, srcs));
+            true
+        }
+        // Spill-store-style insertion: node + flow edge from a producer.
+        2 => {
+            let v = pick_value(word >> 3);
+            let Some(producer) = g.value(v).producer else {
+                return false;
+            };
+            let mut data = OperationData::new(Opcode::SpillStore, None, vec![v]);
+            data.origin = NodeOrigin::SpillStore { value: v };
+            let st = g.add_node(data);
+            g.add_flow(producer, st, v, (word >> 9) as u32 % 3);
+            true
+        }
+        // Add a dependence edge between two live nodes.
+        3 => {
+            if live_nodes.is_empty() {
+                return false;
+            }
+            let from = pick_node(word >> 3);
+            let to = pick_node(word >> 23);
+            g.add_edge(DepEdge {
+                from,
+                to,
+                kind: if word & 0x40 != 0 {
+                    DepKind::Memory
+                } else {
+                    DepKind::Control
+                },
+                distance: (word >> 9) as u32 % 2,
+                delay_override: if word & 0x80 != 0 { Some(2) } else { None },
+                value: None,
+            });
+            true
+        }
+        // Remove a live edge.
+        4 => {
+            if live_edges.is_empty() {
+                return false;
+            }
+            let e = live_edges[(word >> 3) as usize % live_edges.len()];
+            g.remove_edge(e);
+            true
+        }
+        // Remove a live node (and its incident edges).
+        5 => {
+            if live_nodes.len() <= 1 {
+                return false;
+            }
+            let n = pick_node(word >> 3);
+            g.remove_node(n);
+            true
+        }
+        // Rewire operands: replace one value with another everywhere in a
+        // node's operand list.
+        6 => {
+            if live_nodes.is_empty() {
+                return false;
+            }
+            let n = pick_node(word >> 3);
+            let srcs = g.op(n).srcs().to_vec();
+            let Some(&old) = srcs.first() else {
+                return false;
+            };
+            let new = pick_value(word >> 23);
+            if new == old {
+                return false; // old == new is a journal-free no-op
+            }
+            g.replace_src(n, old, new) > 0
+        }
+        // Mutate a node payload through `op_mut`.
+        _ => {
+            if live_nodes.is_empty() {
+                return false;
+            }
+            let n = pick_node(word >> 3);
+            g.op_mut(n).mem_latency = if word & 0x40 != 0 {
+                MemLatency::Miss
+            } else {
+                MemLatency::Hit
+            };
+            true
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, .. ProptestConfig::default() })]
+
+    /// Random edit sequence + rollback == no-op, bit for bit.
+    #[test]
+    fn rollback_restores_random_edit_sequences(
+        words in proptest::collection::vec(0u64..u64::MAX, 1..60),
+    ) {
+        let mut g = seed_graph();
+        let before = g.clone();
+        let fingerprint = snapshot(&g);
+        let cp = g.checkpoint();
+        let mut mutated = 0usize;
+        for &w in &words {
+            if apply_edit(&mut g, w) {
+                mutated += 1;
+            }
+        }
+        prop_assert_eq!(g.journal_len() > 0, mutated > 0);
+        g.rollback_to(&cp);
+        prop_assert!(g.same_content(&before), "rollback must be bit-identical");
+        prop_assert!(before.same_content(&g), "same_content is symmetric");
+        prop_assert_eq!(snapshot(&g), fingerprint);
+        prop_assert_eq!(g.structural_epoch(), before.structural_epoch());
+        prop_assert_eq!(g.journal_len(), 0);
+        // The consumer index survives intact: the oracle-checked accessor
+        // agrees with a from-scratch operand scan for every value.
+        for v in g.value_ids() {
+            let expect: Vec<NodeId> = g
+                .node_ids()
+                .filter(|&n| g.op(n).srcs().contains(&v))
+                .collect();
+            prop_assert_eq!(g.consumers_of(v), expect);
+        }
+    }
+
+    /// Rolling back to a mid-sequence checkpoint keeps the edits before it
+    /// and discards the edits after it — nesting composes.
+    #[test]
+    fn nested_checkpoints_partition_the_edit_sequence(
+        prefix in proptest::collection::vec(0u64..u64::MAX, 1..25),
+        suffix in proptest::collection::vec(0u64..u64::MAX, 1..25),
+    ) {
+        let mut g = seed_graph();
+        let outer_before = g.clone();
+        let outer = g.checkpoint();
+        for &w in &prefix {
+            apply_edit(&mut g, w);
+        }
+        let mid = g.clone();
+        let inner = g.checkpoint();
+        for &w in &suffix {
+            apply_edit(&mut g, w);
+        }
+        g.rollback_to(&inner);
+        prop_assert!(g.same_content(&mid), "inner rollback keeps the prefix edits");
+        g.rollback_to(&outer);
+        prop_assert!(g.same_content(&outer_before), "outer rollback drops everything");
+    }
+
+    /// Rollback → re-edit → rollback converges for any pair of sequences:
+    /// the transaction can be reused attempt after attempt, like the
+    /// scheduler's II search does.
+    #[test]
+    fn transactions_are_reusable_across_attempts(
+        first in proptest::collection::vec(0u64..u64::MAX, 1..30),
+        second in proptest::collection::vec(0u64..u64::MAX, 1..30),
+    ) {
+        let mut g = seed_graph();
+        let before = g.clone();
+        let cp = g.checkpoint();
+        for &w in &first {
+            apply_edit(&mut g, w);
+        }
+        g.rollback_to(&cp);
+        prop_assert!(g.same_content(&before));
+        for &w in &second {
+            apply_edit(&mut g, w);
+        }
+        g.rollback_to(&cp);
+        prop_assert!(g.same_content(&before));
+        prop_assert_eq!(g.structural_epoch(), before.structural_epoch());
+    }
+}

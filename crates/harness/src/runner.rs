@@ -9,7 +9,7 @@ use crate::sweep::SweepExecutor;
 use baseline::{BaselineOptions, BaselineScheduler};
 use ddg::Loop;
 use loopgen::Workbench;
-use mirs::{MirsScheduler, PrefetchPolicy, ScheduleResult, SchedulerOptions};
+use mirs::{MirsScheduler, PrefetchPolicy, SchedScratch, ScheduleResult, SchedulerOptions};
 use serde::{Deserialize, Serialize};
 use vliw::MachineConfig;
 
@@ -136,9 +136,26 @@ impl WorkbenchSummary {
     }
 }
 
-/// Schedule one loop with the chosen scheduler.
+/// Schedule one loop with the chosen scheduler (fresh scratch buffers; the
+/// sweep paths use [`schedule_loop_with`] to reuse a per-worker scratch).
 #[must_use]
 pub fn schedule_loop(
+    lp: &Loop,
+    machine: &MachineConfig,
+    kind: SchedulerKind,
+    prefetch: PrefetchPolicy,
+) -> LoopOutcome {
+    schedule_loop_with(&mut SchedScratch::default(), lp, machine, kind, prefetch)
+}
+
+/// [`schedule_loop`] on caller-provided scratch buffers, so a worker
+/// scheduling many loops allocates its MRT/pressure/priority storage once
+/// instead of once per loop. Outcomes are byte-identical to
+/// [`schedule_loop`] for any reuse pattern (the scratch carries warmed
+/// allocations, never results).
+#[must_use]
+pub fn schedule_loop_with(
+    scratch: &mut SchedScratch,
     lp: &Loop,
     machine: &MachineConfig,
     kind: SchedulerKind,
@@ -155,7 +172,9 @@ pub fn schedule_loop(
     let result = match kind {
         SchedulerKind::MirsC => {
             let opts = SchedulerOptions::default().with_prefetch(prefetch);
-            MirsScheduler::new(machine, opts).schedule(lp).ok()
+            MirsScheduler::new(machine, opts)
+                .schedule_with(lp, scratch)
+                .ok()
         }
         SchedulerKind::Baseline => {
             let opts = BaselineOptions {
@@ -326,8 +345,8 @@ pub fn run_workbench_with(
     kind: SchedulerKind,
     prefetch: PrefetchPolicy,
 ) -> WorkbenchSummary {
-    let outcomes = exec.run(wb.loops(), |_, lp| {
-        schedule_loop(lp, machine, kind, prefetch)
+    let outcomes = exec.run_scratch(wb.loops(), SchedScratch::default, |scratch, _, lp| {
+        schedule_loop_with(scratch, lp, machine, kind, prefetch)
     });
     WorkbenchSummary {
         config: machine.name(),
@@ -388,9 +407,15 @@ pub fn run_sweep(
     let tasks: Vec<(usize, usize)> = (0..sweep_jobs.len())
         .flat_map(|j| (0..loops.len()).map(move |l| (j, l)))
         .collect();
-    let outcomes = exec.run(&tasks, |_, &(j, l)| {
+    let outcomes = exec.run_scratch(&tasks, SchedScratch::default, |scratch, _, &(j, l)| {
         let job = &sweep_jobs[j];
-        schedule_loop(&loops[l], &job.machine, job.scheduler, job.prefetch)
+        schedule_loop_with(
+            scratch,
+            &loops[l],
+            &job.machine,
+            job.scheduler,
+            job.prefetch,
+        )
     });
     let mut remaining = outcomes.into_iter();
     sweep_jobs

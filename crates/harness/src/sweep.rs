@@ -7,18 +7,26 @@
 //! [`SweepExecutor`] shards such a bag across `MIRS_JOBS` threads (default:
 //! all cores) while keeping the output *byte-identical* to a serial run:
 //!
-//! * workers claim task indices from one shared atomic counter (cheap
-//!   work stealing — an idle worker simply claims the next undone index),
+//! * workers claim **chunks** of task indices from one shared atomic
+//!   counter (cheap work stealing with NUMA-friendly locality: one
+//!   fetch-add hands out up to `MIRS_CHUNK` — default 8 — consecutive
+//!   tasks, cutting counter contention and keeping a worker's consecutive
+//!   loops in its local cache; small bags are auto-declustered so every
+//!   worker still gets work),
 //! * each result is tagged with its task index and the final vector is
 //!   assembled by index, so the outcome order never depends on thread
-//!   interleaving,
+//!   interleaving or the chunk size,
 //! * each task sees an immutable `&` view of the inputs (`Workbench`,
 //!   `MachineConfig`, shared `DepGraph` bases inside each `Loop`) — the
-//!   scheduler itself is `Send + Sync` and stateless between loops.
+//!   scheduler itself is `Send + Sync` and stateless between loops,
+//! * per-worker *scratch* state (reusable scheduling buffers, see
+//!   [`SweepExecutor::run_scratch`]) is created once per worker and
+//!   threaded through its tasks, so a sweep allocates per worker, not per
+//!   task.
 //!
 //! Determinism is pinned by the golden `schedule_hash` tests and a property
-//! test driving 1-, 2- and N-thread runs against each other (see
-//! `tests/parallel_sweep.rs`).
+//! test driving 1-, 2- and N-thread runs at several chunk sizes against
+//! each other (see `tests/parallel_sweep.rs`).
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -27,6 +35,13 @@ use std::sync::Arc;
 /// Environment variable overriding the worker count (`0` or unparsable
 /// values fall back to the default).
 pub const JOBS_ENV: &str = "MIRS_JOBS";
+
+/// Environment variable overriding the task-claim chunk size (`0` or
+/// unparsable values fall back to [`DEFAULT_CHUNK`]).
+pub const CHUNK_ENV: &str = "MIRS_CHUNK";
+
+/// Default number of consecutive tasks one atomic claim hands a worker.
+pub const DEFAULT_CHUNK: usize = 8;
 
 /// Why a sweep did not produce a full result vector.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -107,6 +122,7 @@ pub struct SweepHooks<'h> {
 #[derive(Debug, Clone)]
 pub struct SweepExecutor {
     jobs: usize,
+    chunk: usize,
 }
 
 const _: fn() = || {
@@ -122,10 +138,14 @@ impl Default for SweepExecutor {
 }
 
 impl SweepExecutor {
-    /// Executor with exactly `jobs` workers (clamped to at least 1).
+    /// Executor with exactly `jobs` workers (clamped to at least 1) and the
+    /// default claim chunk.
     #[must_use]
     pub fn new(jobs: usize) -> Self {
-        Self { jobs: jobs.max(1) }
+        Self {
+            jobs: jobs.max(1),
+            chunk: DEFAULT_CHUNK,
+        }
     }
 
     /// Single-threaded executor: tasks run inline on the caller's thread.
@@ -135,7 +155,8 @@ impl SweepExecutor {
     }
 
     /// Executor sized by the `MIRS_JOBS` environment variable, defaulting
-    /// to [`std::thread::available_parallelism`].
+    /// to [`std::thread::available_parallelism`]; the claim chunk honours
+    /// `MIRS_CHUNK`.
     #[must_use]
     pub fn from_env() -> Self {
         let jobs = std::env::var(JOBS_ENV)
@@ -147,13 +168,42 @@ impl SweepExecutor {
                     .map(std::num::NonZeroUsize::get)
                     .unwrap_or(1)
             });
-        Self::new(jobs)
+        let chunk = std::env::var(CHUNK_ENV)
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&c| c > 0)
+            .unwrap_or(DEFAULT_CHUNK);
+        Self::new(jobs).with_chunk(chunk)
+    }
+
+    /// Builder-style override of the claim chunk size (clamped to at least
+    /// 1). Results are byte-identical for every chunk size; only the claim
+    /// pattern — counter contention and task locality — changes.
+    #[must_use]
+    pub fn with_chunk(mut self, chunk: usize) -> Self {
+        self.chunk = chunk.max(1);
+        self
     }
 
     /// Configured worker count.
     #[must_use]
     pub fn jobs(&self) -> usize {
         self.jobs
+    }
+
+    /// Configured claim chunk size.
+    #[must_use]
+    pub fn chunk(&self) -> usize {
+        self.chunk
+    }
+
+    /// Effective chunk for a bag of `total` tasks: the configured chunk,
+    /// declustered so every worker can expect several claims — a 6-task
+    /// bag on 4 workers must not collapse onto one worker just because the
+    /// chunk is 8. Purely a scheduling-granularity decision; the result
+    /// vector is identical either way.
+    fn chunk_for(&self, total: usize) -> usize {
+        self.chunk.min((total / (self.jobs * 4)).max(1))
     }
 
     /// Run `task` over every item and return the results in item order,
@@ -174,6 +224,34 @@ impl SweepExecutor {
         }
     }
 
+    /// [`SweepExecutor::run`] with per-worker scratch state: `init` builds
+    /// one `S` per worker thread (once, before its first task) and every
+    /// task that worker claims receives `&mut` access to it. This is how
+    /// the workbench runners thread one
+    /// [`mirs::SchedScratch`] per worker through thousands of loops — the
+    /// sweep allocates per worker, not per task.
+    ///
+    /// The scratch must not influence results (the determinism guarantee
+    /// quantifies over worker count *and* task→worker assignment); scratch
+    /// types like `SchedScratch` that only carry warmed allocations satisfy
+    /// this by construction.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises (as a panic) the failure of any worker task.
+    pub fn run_scratch<I, T, S, G, F>(&self, items: &[I], init: G, task: F) -> Vec<T>
+    where
+        I: Sync,
+        T: Send,
+        G: Fn() -> S + Sync,
+        F: Fn(&mut S, usize, &I) -> T + Sync,
+    {
+        match self.try_run_scratch_hooked(items, init, task, &SweepHooks::default()) {
+            Ok(results) => results,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
     /// Like [`SweepExecutor::run`] but surfaces worker panics and
     /// cancellation as a [`SweepError`] instead of panicking.
     ///
@@ -189,7 +267,7 @@ impl SweepExecutor {
         self.try_run_hooked(items, task, &SweepHooks::default())
     }
 
-    /// Full-control variant: progress and cancellation hooks.
+    /// Hooked variant without scratch state.
     ///
     /// # Errors
     ///
@@ -206,6 +284,30 @@ impl SweepExecutor {
         I: Sync,
         T: Send,
         F: Fn(usize, &I) -> T + Sync,
+    {
+        self.try_run_scratch_hooked(items, || (), |_scratch, i, item| task(i, item), hooks)
+    }
+
+    /// Full-control variant: per-worker scratch state plus progress and
+    /// cancellation hooks. Every other `run` flavour delegates here.
+    ///
+    /// # Errors
+    ///
+    /// [`SweepError::WorkerPanicked`] when any task panicked (the queue is
+    /// still drained — a panic never hangs the sweep) and
+    /// [`SweepError::Cancelled`] when the [`CancelToken`] fired first.
+    pub fn try_run_scratch_hooked<I, T, S, G, F>(
+        &self,
+        items: &[I],
+        init: G,
+        task: F,
+        hooks: &SweepHooks<'_>,
+    ) -> Result<Vec<T>, SweepError>
+    where
+        I: Sync,
+        T: Send,
+        G: Fn() -> S + Sync,
+        F: Fn(&mut S, usize, &I) -> T + Sync,
     {
         let total = items.len();
         let done = AtomicUsize::new(0);
@@ -224,6 +326,7 @@ impl SweepExecutor {
             // error semantics mirror the pooled path exactly: the queue
             // drains past panics so `lost_tasks` lists *every* failing
             // task, independent of the worker count.
+            let mut scratch = init();
             let mut results = Vec::with_capacity(total);
             let mut lost_tasks: Vec<usize> = Vec::new();
             for (i, item) in items.iter().enumerate() {
@@ -232,7 +335,7 @@ impl SweepExecutor {
                         completed: done.load(Ordering::Relaxed),
                     });
                 }
-                match catch_unwind(AssertUnwindSafe(|| task(i, item))) {
+                match catch_unwind(AssertUnwindSafe(|| task(&mut scratch, i, item))) {
                     Ok(t) => {
                         results.push(t);
                         report(i);
@@ -247,33 +350,49 @@ impl SweepExecutor {
         }
 
         // Work-stealing queue: one shared counter of the next unclaimed
-        // task. Finished-early workers immediately claim pending indices,
-        // so load imbalance (one pathological loop among hundreds) costs at
-        // most one task of idle time per worker.
+        // chunk of tasks. A claim hands out `chunk` consecutive indices —
+        // fewer fetch-adds on the shared counter (which otherwise
+        // ping-pongs between sockets on big machines) and consecutive
+        // loops stay on one worker's warm scratch. Finished-early workers
+        // immediately claim pending chunks, so load imbalance (one
+        // pathological loop among hundreds) costs at most one chunk of
+        // idle time per worker.
+        let chunk = self.chunk_for(total);
         let next = AtomicUsize::new(0);
         let task_ref = &task;
+        let init_ref = &init;
         let parts: Vec<WorkerPart<T>> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
                     scope.spawn(|| {
+                        let mut scratch = init_ref();
                         let mut local: Vec<(usize, T)> = Vec::new();
                         let mut lost: Vec<usize> = Vec::new();
-                        loop {
-                            if cancelled() {
+                        'claims: loop {
+                            let start = next.fetch_add(chunk, Ordering::Relaxed);
+                            if start >= total {
                                 break;
                             }
-                            let i = next.fetch_add(1, Ordering::Relaxed);
-                            if i >= total {
-                                break;
-                            }
-                            // Catch per-task panics so one bad loop cannot
-                            // take the other results on this worker with it.
-                            match catch_unwind(AssertUnwindSafe(|| task_ref(i, &items[i]))) {
-                                Ok(t) => {
-                                    local.push((i, t));
-                                    report(i);
+                            let end = (start + chunk).min(total);
+                            for (i, item) in items[start..end].iter().enumerate() {
+                                let i = start + i;
+                                // Cancellation latency stays one *task*,
+                                // not one chunk.
+                                if cancelled() {
+                                    break 'claims;
                                 }
-                                Err(_) => lost.push(i),
+                                // Catch per-task panics so one bad loop
+                                // cannot take the other results on this
+                                // worker with it.
+                                match catch_unwind(AssertUnwindSafe(|| {
+                                    task_ref(&mut scratch, i, item)
+                                })) {
+                                    Ok(t) => {
+                                        local.push((i, t));
+                                        report(i);
+                                    }
+                                    Err(_) => lost.push(i),
+                                }
                             }
                         }
                         if lost.is_empty() {
@@ -365,10 +484,69 @@ mod tests {
     }
 
     #[test]
+    fn results_are_in_item_order_for_any_chunk_size() {
+        let items: Vec<u64> = (0..203).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * 3).collect();
+        for jobs in [2usize, 4] {
+            for chunk in [1usize, 3, 8, 64, 1024] {
+                let exec = SweepExecutor::new(jobs).with_chunk(chunk);
+                let got = exec.run(&items, |_, &x| x * 3);
+                assert_eq!(got, expect, "jobs={jobs} chunk={chunk}");
+            }
+        }
+    }
+
+    #[test]
     fn executor_clamps_to_at_least_one_worker() {
         assert_eq!(SweepExecutor::new(0).jobs(), 1);
         assert_eq!(SweepExecutor::serial().jobs(), 1);
         assert!(SweepExecutor::from_env().jobs() >= 1);
+        assert!(SweepExecutor::from_env().chunk() >= 1);
+        assert_eq!(SweepExecutor::new(2).with_chunk(0).chunk(), 1);
+        assert_eq!(SweepExecutor::new(2).chunk(), DEFAULT_CHUNK);
+    }
+
+    #[test]
+    fn small_bags_are_declustered_so_every_worker_gets_work() {
+        // 6 tasks, 4 workers, chunk 8: the effective chunk must shrink to 1
+        // (a single worker must not swallow the whole bag in one claim).
+        let exec = SweepExecutor::new(4).with_chunk(8);
+        assert_eq!(exec.chunk_for(6), 1);
+        // A big bag keeps the configured chunk.
+        assert_eq!(exec.chunk_for(1258), 8);
+        // And the override is honoured up to the decluster bound.
+        assert_eq!(SweepExecutor::new(2).with_chunk(64).chunk_for(1258), 64);
+    }
+
+    #[test]
+    fn scratch_is_per_worker_and_threaded_through_tasks() {
+        // Each worker's scratch counts the tasks it executed; the sum over
+        // workers must cover every item exactly once, and the number of
+        // init() calls can never exceed the worker count.
+        let inits = AtomicUsize::new(0);
+        let executed = AtomicUsize::new(0);
+        let items: Vec<usize> = (0..50).collect();
+        for jobs in [1usize, 4] {
+            inits.store(0, Ordering::Relaxed);
+            executed.store(0, Ordering::Relaxed);
+            let exec = SweepExecutor::new(jobs).with_chunk(4);
+            let got = exec.run_scratch(
+                &items,
+                || {
+                    inits.fetch_add(1, Ordering::Relaxed);
+                    0usize // per-worker task counter
+                },
+                |count, _, &x| {
+                    *count += 1;
+                    executed.fetch_add(1, Ordering::Relaxed);
+                    x + *count // scratch visibly participates
+                },
+            );
+            assert_eq!(got.len(), items.len(), "jobs={jobs}");
+            assert_eq!(executed.load(Ordering::Relaxed), items.len());
+            assert!(inits.load(Ordering::Relaxed) <= jobs.max(1));
+            assert!(inits.load(Ordering::Relaxed) >= 1);
+        }
     }
 
     #[test]

@@ -43,10 +43,13 @@ fn assert_identical(a: &WorkbenchSummary, b: &WorkbenchSummary, label: &str) {
 proptest! {
     #![proptest_config(ProptestConfig { cases: 6, .. ProptestConfig::default() })]
 
-    /// `run_workbench` with 1, 2 and N threads yields identical outcome
-    /// vectors and identical schedule hashes on randomized workbenches.
+    /// `run_workbench` with 1, 2 and N threads — at several task-claim
+    /// chunk sizes — yields identical outcome vectors and identical
+    /// schedule hashes on randomized workbenches. Chunked claiming and
+    /// per-worker scratch reuse are scheduling-granularity decisions only;
+    /// neither may leak into the results.
     #[test]
-    fn workbench_outcomes_are_identical_for_any_worker_count(
+    fn workbench_outcomes_are_identical_for_any_worker_count_and_chunk(
         seed in 0u64..500,
         loops in 4usize..9,
         clusters_pow in 0u32..3,
@@ -60,20 +63,20 @@ proptest! {
         let k = 1u32 << clusters_pow;
         let regs = [16u32, 32, 64][regs_idx];
         let machine = MachineConfig::paper_config(k, regs).unwrap();
-        let run = |jobs: usize| {
+        let run = |jobs: usize, chunk: usize| {
             run_workbench_with(
-                &SweepExecutor::new(jobs),
+                &SweepExecutor::new(jobs).with_chunk(chunk),
                 &wb,
                 &machine,
                 SchedulerKind::MirsC,
                 PrefetchPolicy::HitLatency,
             )
         };
-        let serial = run(1);
-        let two = run(2);
-        let wide = run(8);
-        assert_identical(&serial, &two, "2 workers");
-        assert_identical(&serial, &wide, "8 workers");
+        let serial = run(1, 1);
+        for (jobs, chunk) in [(1, 8), (2, 1), (2, 8), (8, 3), (8, 64)] {
+            let parallel = run(jobs, chunk);
+            assert_identical(&serial, &parallel, &format!("{jobs} workers, chunk {chunk}"));
+        }
     }
 }
 

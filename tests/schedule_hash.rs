@@ -66,6 +66,36 @@ fn schedule_hash_is_stable_across_runs() {
     assert_eq!(a, b, "same loop, same machine, same hash");
 }
 
+/// One `SchedScratch` reused across every loop (and every machine shape)
+/// produces exactly the schedules fresh-scratch runs produce: warmed
+/// buffers carry capacity, never state. This is the contract that lets the
+/// sweep engine keep one scratch per worker.
+#[test]
+fn schedules_are_identical_with_a_reused_scratch() {
+    let wb = workbench();
+    let mut scratch = mirs::SchedScratch::new();
+    for (k, regs) in [(1u32, 64u32), (2, 32), (4, 16)] {
+        let machine = MachineConfig::paper_config(k, regs).unwrap();
+        let sched = MirsScheduler::new(&machine, SchedulerOptions::default());
+        for lp in wb.loops() {
+            let fresh = sched.schedule(lp).expect("reference workbench converges");
+            let reused = sched
+                .schedule_with(lp, &mut scratch)
+                .expect("reference workbench converges");
+            assert_eq!(
+                fresh.schedule_hash(),
+                reused.schedule_hash(),
+                "{}: scratch reuse changed the schedule of {}",
+                machine.name(),
+                lp.name
+            );
+            assert_eq!(fresh.ii, reused.ii);
+            assert_eq!(fresh.max_live, reused.max_live);
+            assert_eq!(fresh.stats.restarts, reused.stats.restarts);
+        }
+    }
+}
+
 /// Recorded from the seed (hash-map MRT) scheduler; the flat-MRT refactor
 /// must reproduce these exactly.
 const GOLDEN_1X64: u64 = 0xe16d_bd67_223a_565e;
