@@ -22,9 +22,13 @@ impl SchedState<'_, '_> {
             return ClusterId::ZERO;
         }
         let opcode = self.graph.op(node).opcode;
+        // One window serves every candidate cluster: it is derived from the
+        // node's scheduled neighbours only (see `SchedState::window`), so
+        // recomputing it per cluster — an in/out-edge scan each time — was
+        // pure waste on the pick hot path.
+        let window = self.window(node);
         let mut best: Option<(ClusterId, (i64, i64, i64))> = None;
         for cluster in self.machine.cluster_ids() {
-            let window = self.window(node, cluster);
             let rt = self.machine.reservation(opcode, cluster);
             if self.sched.intrinsically_infeasible(&rt) {
                 // This cluster can never execute the operation at the
@@ -69,20 +73,48 @@ impl SchedState<'_, '_> {
                 }
             }
         }
-        // Exports: already scheduled consumers of the result in other
-        // clusters (one move per destination cluster).
-        if let Some(dest) = self.graph.op(node).dest {
+        // Exports: already scheduled consumers of any produced value in
+        // other clusters (one move per destination cluster per value).
+        let export_count = |v: ValueId| -> usize {
             let mut dst_clusters: Vec<ClusterId> = Vec::new();
-            for &c in self.graph.consumer_ids(dest) {
+            for &c in self.graph.consumer_ids(v) {
                 if let Some(cc) = self.sched.cluster_of(c) {
                     if cc != cluster && !dst_clusters.contains(&cc) {
                         dst_clusters.push(cc);
                     }
                 }
             }
-            count += dst_clusters.len();
+            dst_clusters.len()
+        };
+        if let Some(dest) = self.graph.op(node).dest {
+            count += export_count(dest);
+        }
+        for &v in self.carried_values(node) {
+            count += export_count(v);
         }
         count
+    }
+
+    /// Loop-carried accumulator values produced by `node` besides its
+    /// `dest` (the loop builders model `acc = acc ⊕ x` as a *separate*
+    /// carried value whose producer is the reduction node) — read from the
+    /// memo's precomputed per-loop table, so the hot paths (`moves_needed`
+    /// runs once per cluster per node pick) do no edge scan and no
+    /// allocation. Empty for the overwhelmingly common dest-only case.
+    ///
+    /// The export logic must cover these values too — a consumer of a
+    /// carried value scheduled before the producer, in another cluster,
+    /// gets its move only from the producer's export pass. (The HRMS order
+    /// happens to avoid that interleaving on most loops, which kept this
+    /// hole invisible until perturbed-order search strategies hit it.)
+    pub(crate) fn carried_values(&self, node: NodeId) -> &[ValueId] {
+        let carried = self.memo.carried(node);
+        debug_assert_eq!(
+            carried,
+            crate::spill::compute_carried_values(self.graph, node),
+            "carried-values table diverged from the graph for {node}"
+        );
+        carried
     }
 
     /// A live move node that already transports `value` into `cluster`, if
@@ -138,38 +170,59 @@ impl SchedState<'_, '_> {
         }
 
         // --- exports -------------------------------------------------------
+        // Every produced value, not just `dest`: loop-carried accumulator
+        // values also live in this node's cluster and need a move when a
+        // consumer is already scheduled elsewhere (see `carried_values`).
         if let Some(dest) = self.graph.op(node).dest {
-            // Borrowed scan first: the common case has no consumer scheduled
-            // in another cluster, and then no owned consumer list (which the
-            // rewiring below needs, as it mutates the graph) is built.
-            let mut dst_clusters: Vec<ClusterId> = Vec::new();
-            for &c in self.graph.consumer_ids(dest) {
-                if let Some(cc) = self.sched.cluster_of(c) {
-                    if cc != cluster && !dst_clusters.contains(&cc) {
-                        dst_clusters.push(cc);
-                    }
-                }
-            }
-            if dst_clusters.is_empty() {
-                return new_moves;
-            }
-            let consumers = self.graph.consumers_of(dest);
-            for dst in dst_clusters {
-                let mv = if let Some(existing) = self.move_of_value_into(dest, dst) {
-                    existing
-                } else {
-                    let mv = self.create_move(dest, node, cluster, dst, node);
-                    new_moves.push(mv);
-                    mv
-                };
-                for c in &consumers {
-                    if self.sched.cluster_of(*c) == Some(dst) {
-                        self.rewire_consumer(*c, dest, mv);
-                    }
+            self.export_moves_for(node, cluster, dest, &mut new_moves);
+        }
+        let mut carried_idx = 0;
+        while let Some(&v) = self.carried_values(node).get(carried_idx) {
+            carried_idx += 1;
+            self.export_moves_for(node, cluster, v, &mut new_moves);
+        }
+        new_moves
+    }
+
+    /// Export pass of [`SchedState::ensure_moves`] for one produced value:
+    /// one move per destination cluster holding scheduled consumers, with
+    /// those consumers rewired onto the move's copy.
+    fn export_moves_for(
+        &mut self,
+        node: NodeId,
+        cluster: ClusterId,
+        dest: ValueId,
+        new_moves: &mut Vec<NodeId>,
+    ) {
+        // Borrowed scan first: the common case has no consumer scheduled
+        // in another cluster, and then no owned consumer list (which the
+        // rewiring below needs, as it mutates the graph) is built.
+        let mut dst_clusters: Vec<ClusterId> = Vec::new();
+        for &c in self.graph.consumer_ids(dest) {
+            if let Some(cc) = self.sched.cluster_of(c) {
+                if cc != cluster && !dst_clusters.contains(&cc) {
+                    dst_clusters.push(cc);
                 }
             }
         }
-        new_moves
+        if dst_clusters.is_empty() {
+            return;
+        }
+        let consumers = self.graph.consumers_of(dest);
+        for dst in dst_clusters {
+            let mv = if let Some(existing) = self.move_of_value_into(dest, dst) {
+                existing
+            } else {
+                let mv = self.create_move(dest, node, cluster, dst, node);
+                new_moves.push(mv);
+                mv
+            };
+            for c in &consumers {
+                if self.sched.cluster_of(*c) == Some(dst) {
+                    self.rewire_consumer(*c, dest, mv);
+                }
+            }
+        }
     }
 
     /// Create a move node transporting `value` (produced by `producer` in
@@ -196,6 +249,8 @@ impl SchedState<'_, '_> {
         self.stats.moves += 1;
         self.pressure.mark_value(value);
         self.pressure.mark_value(copy);
+        self.memo.invalidate(value);
+        self.memo.invalidate(copy);
         mv
     }
 
@@ -228,8 +283,10 @@ impl SchedState<'_, '_> {
             self.graph.add_flow(mv, consumer, copy, distance);
         }
         // `consumer` now reads `copy` instead of `original`: both lifetimes
-        // changed shape.
+        // (and both structural use lists) changed shape.
         self.pressure.mark_value(original);
         self.pressure.mark_value(copy);
+        self.memo.invalidate(original);
+        self.memo.invalidate(copy);
     }
 }

@@ -57,13 +57,21 @@ mod result;
 mod schedule;
 mod scheduler;
 mod scratch;
+pub mod search;
 mod slots;
 mod spill;
 
 pub use error::ScheduleError;
-pub use options::{EjectionPolicy, PrefetchPolicy, SchedulerOptions};
+pub use options::{
+    EjectionPolicy, PrefetchPolicy, SchedulerOptions, SearchConfig, SearchStrategyKind,
+    STRATEGY_ENV,
+};
 pub use prefetch::apply_prefetch_policy;
-pub use result::{Placement, ScheduleResult, SchedulerStats, ValidationError};
+pub use result::{Placement, ScheduleResult, SchedulerStats, SearchMeta, ValidationError};
 pub use schedule::PartialSchedule;
 pub use scheduler::MirsScheduler;
 pub use scratch::SchedScratch;
+pub use search::{
+    AttemptReport, BacktrackingSearch, LinearSearch, PerturbedRestartSearch, SearchMove,
+    SearchStrategy, SearchView,
+};

@@ -33,6 +33,178 @@ pub enum PrefetchPolicy {
     },
 }
 
+/// Environment variable selecting the II-search strategy for the harness
+/// entry points (`linear`, `backtrack` or `perturb`); explicit
+/// [`SchedulerOptions`] always win over the environment.
+pub const STRATEGY_ENV: &str = "MIRS_STRATEGY";
+
+/// Which engine drives the search over candidate IIs.
+///
+/// The strategy only decides *which* (II, priority-order) attempts are made
+/// and which successful attempt is accepted; every individual attempt is
+/// the unchanged MIRS-C inner loop. [`SearchStrategyKind::Linear`] is the
+/// paper's monotonic climb and the default — it is bit-identical to the
+/// pre-search-layer scheduler (the golden schedule-hash tests pin this).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum SearchStrategyKind {
+    /// Monotonic `fail → II+1` climb; accept the first feasible II.
+    #[default]
+    Linear,
+    /// Branch at every candidate II: besides the canonical HRMS order, try
+    /// deterministically perturbed priority orders under nested graph
+    /// checkpoints, and accept the best candidate by the (II, spill-ops,
+    /// moves) metric. Never worse than [`SearchStrategyKind::Linear`] on
+    /// that metric, at the cost of extra attempts.
+    Backtracking,
+    /// Re-enter a *failed* II up to `retries` times with deterministically
+    /// perturbed priority orders before climbing; accept the first success.
+    PerturbedRestart,
+}
+
+impl SearchStrategyKind {
+    /// Short label used in flags, env values and table columns.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            SearchStrategyKind::Linear => "linear",
+            SearchStrategyKind::Backtracking => "backtrack",
+            SearchStrategyKind::PerturbedRestart => "perturb",
+        }
+    }
+
+    /// Parse a strategy name as used by `--strategy` / `MIRS_STRATEGY`.
+    /// Accepts the canonical labels plus obvious long forms.
+    #[must_use]
+    pub fn parse(name: &str) -> Option<Self> {
+        match name.trim().to_ascii_lowercase().as_str() {
+            "linear" => Some(SearchStrategyKind::Linear),
+            "backtrack" | "backtracking" => Some(SearchStrategyKind::Backtracking),
+            "perturb" | "perturbed" | "perturbed-restart" => {
+                Some(SearchStrategyKind::PerturbedRestart)
+            }
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for SearchStrategyKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Parameters of the II search performed by the
+/// [`SearchDriver`](crate::search) layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SearchConfig {
+    /// Strategy deciding the sequence of (II, priority-order) attempts.
+    pub strategy: SearchStrategyKind,
+    /// Perturbed priority orders tried *in addition to* the canonical HRMS
+    /// order at each candidate II ([`SearchStrategyKind::Backtracking`]).
+    pub branches: u32,
+    /// Candidate IIs explored at/after the first feasible one before the
+    /// best candidate is accepted ([`SearchStrategyKind::Backtracking`]).
+    /// `1` (the default) accepts as soon as the first feasible II is fully
+    /// branched. Under the shipped II-first candidate metric, higher-II
+    /// candidates can never win, so larger windows are purely exploratory
+    /// (diagnostics, future metrics) and cost full extra attempts.
+    pub ii_window: u32,
+    /// Maximum perturbed re-entries of one failed II
+    /// ([`SearchStrategyKind::PerturbedRestart`]).
+    pub retries: u32,
+    /// Base seed of the deterministic priority perturbations. Attempt seeds
+    /// are derived from `(seed, ii, branch index)`, so every run of the
+    /// same loop explores the identical tree.
+    pub seed: u64,
+}
+
+impl Default for SearchConfig {
+    fn default() -> Self {
+        Self {
+            strategy: SearchStrategyKind::Linear,
+            branches: 2,
+            ii_window: 1,
+            retries: 2,
+            seed: 0x5eed_1e55_c0de_2026,
+        }
+    }
+}
+
+impl SearchConfig {
+    /// Configuration for the named strategy with default parameters.
+    #[must_use]
+    pub fn for_strategy(strategy: SearchStrategyKind) -> Self {
+        Self {
+            strategy,
+            ..Self::default()
+        }
+    }
+
+    /// The default linear climb.
+    #[must_use]
+    pub fn linear() -> Self {
+        Self::for_strategy(SearchStrategyKind::Linear)
+    }
+
+    /// Backtracking multi-II exploration with default parameters.
+    #[must_use]
+    pub fn backtracking() -> Self {
+        Self::for_strategy(SearchStrategyKind::Backtracking)
+    }
+
+    /// Perturbed-restart search with default parameters.
+    #[must_use]
+    pub fn perturbed() -> Self {
+        Self::for_strategy(SearchStrategyKind::PerturbedRestart)
+    }
+
+    /// Builder-style setter for the perturbation branches per II.
+    #[must_use]
+    pub fn with_branches(mut self, branches: u32) -> Self {
+        self.branches = branches;
+        self
+    }
+
+    /// Builder-style setter for the II exploration window.
+    #[must_use]
+    pub fn with_ii_window(mut self, window: u32) -> Self {
+        self.ii_window = window.max(1);
+        self
+    }
+
+    /// Builder-style setter for the perturbed-restart retry count.
+    #[must_use]
+    pub fn with_retries(mut self, retries: u32) -> Self {
+        self.retries = retries;
+        self
+    }
+
+    /// Builder-style setter for the perturbation base seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Configuration selected by the `MIRS_STRATEGY` environment variable
+    /// (default parameters for the named strategy; [`SearchConfig::default`]
+    /// when unset or unparsable).
+    ///
+    /// The variable is read once per process — sweeps consult this per
+    /// scheduled loop and `std::env::var` takes a lock.
+    #[must_use]
+    pub fn from_env() -> Self {
+        static KIND: std::sync::OnceLock<SearchStrategyKind> = std::sync::OnceLock::new();
+        let kind = *KIND.get_or_init(|| {
+            std::env::var(STRATEGY_ENV)
+                .ok()
+                .and_then(|v| SearchStrategyKind::parse(&v))
+                .unwrap_or_default()
+        });
+        Self::for_strategy(kind)
+    }
+}
+
 /// Parameters of the iterative scheduling algorithm.
 ///
 /// Defaults follow the values used in the paper: a budget ratio of 6
@@ -71,6 +243,8 @@ pub struct SchedulerOptions {
     pub enable_backtracking: bool,
     /// Load-latency assumption (binding prefetching).
     pub prefetch: PrefetchPolicy,
+    /// II-search engine driving the restart loop.
+    pub search: SearchConfig,
 }
 
 impl Default for SchedulerOptions {
@@ -85,6 +259,7 @@ impl Default for SchedulerOptions {
             enable_spill: true,
             enable_backtracking: true,
             prefetch: PrefetchPolicy::HitLatency,
+            search: SearchConfig::default(),
         }
     }
 }
@@ -137,6 +312,21 @@ impl SchedulerOptions {
         self.ejection = policy;
         self
     }
+
+    /// Builder-style setter for the full II-search configuration.
+    #[must_use]
+    pub fn with_search(mut self, search: SearchConfig) -> Self {
+        self.search = search;
+        self
+    }
+
+    /// Builder-style setter selecting an II-search strategy with its
+    /// default parameters.
+    #[must_use]
+    pub fn with_strategy(mut self, strategy: SearchStrategyKind) -> Self {
+        self.search = SearchConfig::for_strategy(strategy);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -154,7 +344,47 @@ mod tests {
         assert!(o.enable_spill);
         assert!(o.enable_backtracking);
         assert_eq!(o.prefetch, PrefetchPolicy::HitLatency);
+        assert_eq!(o.search.strategy, SearchStrategyKind::Linear);
         assert_eq!(SchedulerOptions::paper(), o);
+    }
+
+    #[test]
+    fn strategy_names_round_trip_through_parse() {
+        for kind in [
+            SearchStrategyKind::Linear,
+            SearchStrategyKind::Backtracking,
+            SearchStrategyKind::PerturbedRestart,
+        ] {
+            assert_eq!(SearchStrategyKind::parse(kind.label()), Some(kind));
+            assert_eq!(kind.to_string(), kind.label());
+        }
+        assert_eq!(
+            SearchStrategyKind::parse("Backtracking"),
+            Some(SearchStrategyKind::Backtracking)
+        );
+        assert_eq!(
+            SearchStrategyKind::parse("perturbed"),
+            Some(SearchStrategyKind::PerturbedRestart)
+        );
+        assert_eq!(SearchStrategyKind::parse("annealing"), None);
+    }
+
+    #[test]
+    fn search_config_builders_compose() {
+        let cfg = SearchConfig::backtracking()
+            .with_branches(5)
+            .with_ii_window(0)
+            .with_retries(7)
+            .with_seed(42);
+        assert_eq!(cfg.strategy, SearchStrategyKind::Backtracking);
+        assert_eq!(cfg.branches, 5);
+        assert_eq!(cfg.ii_window, 1, "window clamps to at least 1");
+        assert_eq!(cfg.retries, 7);
+        assert_eq!(cfg.seed, 42);
+        let o = SchedulerOptions::default().with_strategy(SearchStrategyKind::PerturbedRestart);
+        assert_eq!(o.search, SearchConfig::perturbed());
+        let o = SchedulerOptions::default().with_search(cfg);
+        assert_eq!(o.search.branches, 5);
     }
 
     #[test]

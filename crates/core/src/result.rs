@@ -36,8 +36,29 @@ pub struct SchedulerStats {
     pub moves_removed: u64,
     /// Times the schedule was discarded and restarted with a larger II.
     pub restarts: u32,
+    /// Spill-candidate evaluations answered from the cross-restart spill
+    /// memo carried in [`SchedScratch`](crate::SchedScratch).
+    pub spill_memo_hits: u64,
+    /// Spill-candidate evaluations that had to re-derive their structural
+    /// use lists (cache cold, or the structural epoch had moved).
+    pub spill_memo_misses: u64,
     /// Wall-clock scheduling time in seconds.
     pub scheduling_seconds: f64,
+}
+
+/// How the accepted schedule was found by the II-search layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct SearchMeta {
+    /// Strategy that drove the search.
+    pub strategy: crate::SearchStrategyKind,
+    /// Scheduling attempts made across every candidate (II, priority-order)
+    /// pair — `restarts + 1` for the linear strategy, possibly more for
+    /// branching ones.
+    pub attempts: u32,
+    /// Successful candidate schedules evaluated during the search,
+    /// including the accepted one (1 when the first success was accepted
+    /// immediately, as the linear strategy always does).
+    pub candidates: u32,
 }
 
 /// A complete modulo schedule for one loop.
@@ -70,6 +91,8 @@ pub struct ScheduleResult {
     pub span: u32,
     /// Scheduler work counters.
     pub stats: SchedulerStats,
+    /// II-search metadata: strategy, attempts, candidates evaluated.
+    pub search: SearchMeta,
 }
 
 impl ScheduleResult {
@@ -317,6 +340,7 @@ mod tests {
             moves: 0,
             span: 10,
             stats: SchedulerStats::default(),
+            search: SearchMeta::default(),
         };
         assert_eq!(r.execution_cycles(100), 10 + 300);
         assert_eq!(r.execution_cycles(0), 10);
@@ -369,6 +393,7 @@ mod tests {
             moves: 0,
             span: 0,
             stats: SchedulerStats::default(),
+            search: SearchMeta::default(),
         };
         assert!(r.validate(&machine).is_ok());
     }

@@ -1,24 +1,31 @@
-//! The MIRS-C driver: the iterative scheduling loop of Figure 4 of the
-//! paper, plus the Forcing-and-Ejection backtracking heuristic.
+//! The MIRS-C attempt engine: one scheduling attempt at a fixed II
+//! (Figure 4 of the paper, steps 1–6), plus the Forcing-and-Ejection
+//! backtracking heuristic.
+//!
+//! The *search over candidate IIs* — which attempts are made, in which
+//! order, and which successful attempt is accepted — lives in
+//! [`crate::search`]; this module only knows how to run a single attempt
+//! inside a graph transaction and how to package a finished attempt as a
+//! [`ScheduleResult`].
 
 use crate::error::ScheduleError;
 use crate::options::SchedulerOptions;
-use crate::prefetch::apply_prefetch_policy;
 use crate::pressure::PressureTracker;
 use crate::priority::PriorityList;
-use crate::result::{Placement, ScheduleResult, SchedulerStats};
+use crate::result::{Placement, ScheduleResult, SchedulerStats, SearchMeta};
 use crate::schedule::PartialSchedule;
 use crate::scratch::SchedScratch;
+use crate::search::SearchDriver;
+use crate::spill::SpillMemo;
 use ddg::collections::HashMap;
-use ddg::{hrms, mii, DepGraph, Loop, NodeId};
+use ddg::{DepGraph, Loop, NodeId};
 use std::sync::OnceLock;
-use std::time::Instant;
 use vliw::{ClusterId, MachineConfig, Opcode, ReservationTable};
 
 /// Whether `MIRS_DEBUG` diagnostics are enabled — read from the
 /// environment once per process, not once per scheduled loop: sweeps
 /// schedule thousands of loops and `std::env::var` takes a lock.
-fn debug_enabled() -> bool {
+pub(crate) fn debug_enabled() -> bool {
     static FLAG: OnceLock<bool> = OnceLock::new();
     *FLAG.get_or_init(|| std::env::var("MIRS_DEBUG").is_ok())
 }
@@ -28,7 +35,7 @@ fn debug_enabled() -> bool {
 /// bit-identically. Always on in debug builds; opt-in for release builds
 /// via `MIRS_GRAPH_AUDIT=1` (any value but `0`), which is how CI exercises
 /// the equivalence guarantee under the release profile.
-fn graph_audit_enabled() -> bool {
+pub(crate) fn graph_audit_enabled() -> bool {
     static FLAG: OnceLock<bool> = OnceLock::new();
     *FLAG.get_or_init(|| {
         cfg!(debug_assertions)
@@ -93,12 +100,20 @@ pub(crate) struct SchedState<'m, 'g> {
     /// *process* (a `OnceLock`); neither the restart heuristic nor the
     /// sweep's per-loop setup may hit the environment.
     pub debug: bool,
+    /// Cross-restart spill memo (structural use lists keyed by epoch).
+    pub memo: SpillMemo,
     pub stats: SchedulerStats,
 }
 
 /// Outcome of one attempt at a fixed II.
-enum AttemptOutcome {
-    Success(Box<ScheduleResult>),
+///
+/// A successful attempt hands the *live* [`SchedState`] back to the search
+/// driver instead of a finished result: the driver decides whether to
+/// accept it in place (commit the transaction, take the working graph —
+/// zero clones, the linear-search fast path) or to stash it as a candidate
+/// (clone the graph, roll the transaction back) and keep exploring.
+pub(crate) enum AttemptOutcome<'m, 'g> {
+    Success(Box<SchedState<'m, 'g>>),
     Restart,
 }
 
@@ -158,17 +173,18 @@ impl<'m> MirsScheduler<'m> {
     /// [`MirsScheduler::schedule`] with caller-provided scratch buffers.
     ///
     /// The scratch amortises every per-attempt allocation (MRT arrays,
-    /// pressure gauges, priority list, bookkeeping maps) across II restarts
-    /// and across loops; the parallel sweep harness keeps one scratch per
-    /// worker thread. Results are byte-identical to [`MirsScheduler::schedule`]
-    /// for any reuse pattern.
+    /// pressure gauges, priority list, bookkeeping maps, the spill memo)
+    /// across II restarts and across loops; the parallel sweep harness
+    /// keeps one scratch per worker thread. Results are byte-identical to
+    /// [`MirsScheduler::schedule`] for any reuse pattern.
     ///
-    /// Internally one working graph is cloned from `lp` per call; every II
-    /// attempt mutates it inside a [`DepGraph`] transaction and rolls back
-    /// on restart, so the attempt loop itself performs **zero** graph
-    /// clones. In debug builds (or with `MIRS_GRAPH_AUDIT=1`) each restart
-    /// asserts that the rollback reproduced the attempt-start graph
-    /// bit-identically.
+    /// Internally one working graph is cloned from `lp` per call and handed
+    /// to a [`SearchDriver`]; every II attempt mutates it inside a
+    /// [`DepGraph`] transaction and rolls back on restart, so the default
+    /// linear search performs **zero** further graph clones (branching
+    /// strategies clone once per stashed candidate). In debug builds (or
+    /// with `MIRS_GRAPH_AUDIT=1`) each rollback asserts that it reproduced
+    /// the attempt-start graph bit-identically.
     ///
     /// # Errors
     ///
@@ -183,104 +199,30 @@ impl<'m> MirsScheduler<'m> {
                 loop_name: lp.name.clone(),
             });
         }
-        let start = Instant::now();
-        let debug = debug_enabled();
-        let audit = graph_audit_enabled();
-        let lat = self.machine.latencies();
-        // The one graph clone of the whole run: every attempt works on this
-        // graph transactionally and is rolled back on restart.
-        let mut graph = lp.graph.clone();
-        apply_prefetch_policy(&mut graph, lat, &self.opts.prefetch, lp.trip_count);
-
-        // Recurrences feed both the RecMII bound and the HRMS ordering —
-        // derive them once instead of running Tarjan + the per-circuit
-        // binary searches twice per loop.
-        let recs = ddg::recurrence::recurrences(&graph, lat);
-        let bounds = mii::mii_with_recurrences(
-            &graph,
-            &recs,
-            self.machine.total_gp_units(),
-            self.machine.total_mem_ports(),
-        );
-        let mii_value = bounds.mii();
-        // The HRMS order depends only on graph structure, and a rollback
-        // restores both the structure and the epoch — so one ordering
-        // serves every restart. The epoch check keeps the cache honest
-        // should an edit ever escape the transaction discipline.
-        let mut order = hrms::hrms_order_with(&graph, lat, &recs);
-        let mut order_epoch = graph.structural_epoch();
-        // Invariant across restarts for the same reason the order is: the
-        // rollback restores the graph bit-identically at attempt start.
-        let mem_ops_base = graph.count_ops(Opcode::is_memory) as u64;
-        let mut ii = mii_value;
-        let mut restarts = 0u32;
-        let mut carried_stats = SchedulerStats::default();
-        loop {
-            if ii > self.opts.max_ii {
-                return Err(ScheduleError::NotConverged {
-                    loop_name: lp.name.clone(),
-                    last_ii: ii - 1,
-                });
-            }
-            if graph.structural_epoch() != order_epoch {
-                order = hrms::hrms_order(&graph, lat);
-                order_epoch = graph.structural_epoch();
-            }
-            let cp = graph.checkpoint();
-            let audit_base = if audit { Some(graph.clone()) } else { None };
-            match self.attempt(
-                &lp.name,
-                &mut graph,
-                &order,
-                ii,
-                mii_value,
-                mem_ops_base,
-                debug,
-                scratch,
-                &mut carried_stats,
-            ) {
-                AttemptOutcome::Success(mut result) => {
-                    result.stats.restarts = restarts;
-                    result.stats.scheduling_seconds = start.elapsed().as_secs_f64();
-                    return Ok(*result);
-                }
-                AttemptOutcome::Restart => {
-                    graph.rollback_to(&cp);
-                    if let Some(base) = &audit_base {
-                        assert!(
-                            graph.same_content(base),
-                            "transactional rollback diverged from the attempt-start graph \
-                             for loop '{}' at II {ii}",
-                            lp.name
-                        );
-                    }
-                    restarts += 1;
-                    ii += 1;
-                }
-            }
-        }
+        let mut strategy = self.opts.search.strategy_impl();
+        SearchDriver::new(self, lp, scratch).run(strategy.as_dyn())
     }
 
-    /// One scheduling attempt at a fixed II (steps 1–6 of Figure 4).
+    /// One scheduling attempt at a fixed II (steps 1–6 of Figure 4) over
+    /// `order` (the canonical HRMS order, or a perturbed variant of it).
     ///
     /// The caller owns the transaction: `graph` arrives checkpointed, this
     /// function mutates it freely (spill/move insertion, rewiring), and on
     /// [`AttemptOutcome::Restart`] the caller rolls those edits back. On
-    /// success the transaction is committed and the graph moved into the
-    /// result.
+    /// success the live state is returned; the caller turns it into a
+    /// [`ScheduleResult`] via [`SchedState::into_result`] (committing or
+    /// rolling back the transaction as its search strategy dictates).
     #[allow(clippy::too_many_arguments)]
-    fn attempt(
+    pub(crate) fn attempt<'g>(
         &self,
-        loop_name: &str,
-        graph: &mut DepGraph,
+        graph: &'g mut DepGraph,
         order: &[NodeId],
         ii: u32,
-        mii_value: u32,
         mem_ops_base: u64,
         debug: bool,
         scratch: &mut SchedScratch,
         carried: &mut SchedulerStats,
-    ) -> AttemptOutcome {
+    ) -> AttemptOutcome<'m, 'g> {
         let budget = i64::from(self.opts.budget_ratio) * order.len() as i64;
         let pressure = scratch.take_pressure(self.machine.clusters(), ii, graph.value_count());
         debug_assert_eq!(
@@ -303,6 +245,7 @@ impl<'m> MirsScheduler<'m> {
             spills_inserted: 0,
             pressure,
             debug,
+            memo: scratch.take_spill_memo(),
             stats: std::mem::take(carried),
         };
 
@@ -373,12 +316,37 @@ impl<'m> MirsScheduler<'m> {
             return AttemptOutcome::Restart;
         }
 
-        let result = st.into_result(scratch, loop_name, ii, mii_value);
-        AttemptOutcome::Success(Box::new(result))
+        debug_assert!(
+            st.locality_holds(),
+            "successful attempt violates operand locality (move insertion hole)"
+        );
+        AttemptOutcome::Success(Box::new(st))
     }
 }
 
 impl SchedState<'_, '_> {
+    /// Whether every scheduled non-move node reads its operands from its
+    /// own cluster (or from invariants). This is the invariant the move
+    /// machinery maintains and `ScheduleResult::validate` re-checks on
+    /// final schedules; asserting it on *every* successful attempt (debug
+    /// builds) catches cluster-assignment holes the moment a new node
+    /// order — e.g. a perturbed-search branch — exposes them, instead of
+    /// at validation time three layers up.
+    pub(crate) fn locality_holds(&self) -> bool {
+        self.sched.iter().all(|(n, _, cl)| {
+            if !self.graph.is_live(n) || self.graph.op(n).opcode.is_move() {
+                return true;
+            }
+            self.graph.op(n).srcs().iter().all(|&v| {
+                let vd = self.graph.value(v);
+                vd.invariant
+                    || vd
+                        .producer
+                        .is_none_or(|p| self.sched.cluster_of(p).is_none_or(|pc| pc == cl))
+            })
+        })
+    }
+
     /// Return every scratch-owned buffer of this attempt so the next one
     /// reuses the allocations. The borrowed graph is simply released.
     pub(crate) fn reclaim_into(self, scratch: &mut SchedScratch) {
@@ -390,6 +358,7 @@ impl SchedState<'_, '_> {
             self.move_route,
             self.move_into,
             self.spill_store_of,
+            self.memo,
         );
     }
 
@@ -417,7 +386,7 @@ impl SchedState<'_, '_> {
     /// resource capacity all by itself (an unpipelined long-latency
     /// operation at a small II); the caller restarts with a larger II.
     pub(crate) fn schedule_node(&mut self, node: NodeId, cluster: ClusterId) -> bool {
-        let window = self.window(node, cluster);
+        let window = self.window(node);
         let rt = self.reservation_for(node, cluster);
         if let Some(cycle) = self.find_free_slot(&rt, window) {
             self.sched.place(node, cycle, cluster, rt);
@@ -596,12 +565,15 @@ impl SchedState<'_, '_> {
         let dest_value = self.graph.op(mv).dest;
         let producer = src_value.and_then(|v| self.graph.value(v).producer);
         // The rewiring below changes both values' consumer sets and, via
-        // the ejection above, their lifetimes.
+        // the ejection above, their lifetimes — and both structural use
+        // lists in the spill memo.
         if let Some(v) = src_value {
             self.pressure.mark_value(v);
+            self.memo.invalidate(v);
         }
         if let Some(v) = dest_value {
             self.pressure.mark_value(v);
+            self.memo.invalidate(v);
         }
 
         // Reconnect outgoing edges to the predecessor and restore operands.
@@ -670,16 +642,39 @@ impl SchedState<'_, '_> {
         false
     }
 
-    /// Package the finished attempt as a [`ScheduleResult`]: commit the
-    /// graph transaction, take ownership of the working graph and hand the
-    /// scratch buffers back for the next loop.
-    fn into_result(
+    /// Total spill operations (stores + loads) currently in the graph —
+    /// the candidate-comparison metric of the branching search strategies.
+    pub(crate) fn spill_op_count(&self) -> u32 {
+        let count = self
+            .graph
+            .count_ops(|o| o == Opcode::SpillStore || o == Opcode::SpillLoad)
+            as u32;
+        debug_assert_eq!(count, self.spills_inserted, "spill nodes are never removed");
+        count
+    }
+
+    /// Live move operations currently in the graph (candidate tie-break).
+    pub(crate) fn move_op_count(&self) -> u32 {
+        self.graph.count_ops(Opcode::is_move) as u32
+    }
+
+    /// Package the finished attempt as a [`ScheduleResult`] and hand the
+    /// scratch buffers back for the next attempt or loop.
+    ///
+    /// With `take_graph` the transaction is committed and the working graph
+    /// moved into the result — the zero-clone path for an attempt that is
+    /// accepted on the spot. Without it the graph is *cloned* into the
+    /// result and the transaction left open, so the caller can roll back
+    /// and keep exploring other candidates; the clone is committed (its
+    /// journal dropped) so the result owns a standalone graph either way.
+    pub(crate) fn into_result(
         mut self,
         scratch: &mut SchedScratch,
         loop_name: &str,
-        ii: u32,
         mii_value: u32,
+        take_graph: bool,
     ) -> ScheduleResult {
+        let ii = self.sched.ii();
         let min_cycle = self.sched.min_cycle().unwrap_or(0);
         let max_cycle = self.sched.max_cycle().unwrap_or(0);
         let placements: HashMap<NodeId, Placement> = self
@@ -701,8 +696,17 @@ impl SchedState<'_, '_> {
         self.stats.spill_stores = self.graph.count_ops(|o| o == Opcode::SpillStore) as u32;
         self.stats.spill_loads = self.graph.count_ops(|o| o == Opcode::SpillLoad) as u32;
         self.stats.moves = moves;
-        self.graph.commit();
-        let graph = std::mem::take(&mut *self.graph);
+        let (memo_hits, memo_misses) = self.memo.counters();
+        self.stats.spill_memo_hits = memo_hits;
+        self.stats.spill_memo_misses = memo_misses;
+        let graph = if take_graph {
+            self.graph.commit();
+            std::mem::take(&mut *self.graph)
+        } else {
+            let mut copy = self.graph.clone();
+            copy.commit();
+            copy
+        };
         let stats = self.stats;
         let span = u32::try_from(max_cycle - min_cycle).unwrap_or(0);
         self.reclaim_into(scratch);
@@ -717,6 +721,7 @@ impl SchedState<'_, '_> {
             moves,
             span,
             stats,
+            search: SearchMeta::default(),
         }
     }
 }

@@ -20,6 +20,7 @@
 use crate::pressure::PressureTracker;
 use crate::priority::PriorityList;
 use crate::schedule::PartialSchedule;
+use crate::spill::SpillMemo;
 use ddg::collections::HashMap;
 use ddg::{NodeId, ValueId};
 use vliw::{ClusterId, MachineConfig};
@@ -40,6 +41,12 @@ pub struct SchedScratch {
     move_route: HashMap<NodeId, (ClusterId, ClusterId)>,
     move_into: HashMap<(ValueId, ClusterId), NodeId>,
     spill_store_of: HashMap<ValueId, NodeId>,
+    /// Cross-restart spill memo. Unlike the other buffers it carries
+    /// loop-scoped *state*, not just warmed capacity: entries persist
+    /// across the II attempts of one loop (that is its whole point) and
+    /// the search driver resets it via [`SchedScratch::spill_memo_mut`]
+    /// when a new loop begins, so reuse across loops stays invisible.
+    spill_memo: SpillMemo,
 }
 
 impl SchedScratch {
@@ -112,6 +119,19 @@ impl SchedScratch {
         m
     }
 
+    /// The spill memo, *not* cleared: it deliberately survives from one II
+    /// attempt to the next within a loop (the search driver calls
+    /// [`SpillMemo::begin_loop`] through [`SchedScratch::spill_memo_mut`]
+    /// at loop start and [`SpillMemo::begin_attempt`] before each attempt).
+    pub(crate) fn take_spill_memo(&mut self) -> SpillMemo {
+        std::mem::take(&mut self.spill_memo)
+    }
+
+    /// Direct access for the search driver's per-loop/per-attempt resets.
+    pub(crate) fn spill_memo_mut(&mut self) -> &mut SpillMemo {
+        &mut self.spill_memo
+    }
+
     /// Return every buffer of a finished attempt so the next one (or the
     /// next loop) reuses the allocations.
     #[allow(clippy::too_many_arguments)]
@@ -124,6 +144,7 @@ impl SchedScratch {
         move_route: HashMap<NodeId, (ClusterId, ClusterId)>,
         move_into: HashMap<(ValueId, ClusterId), NodeId>,
         spill_store_of: HashMap<ValueId, NodeId>,
+        spill_memo: SpillMemo,
     ) {
         self.sched = Some(sched);
         self.pressure = Some(pressure);
@@ -132,6 +153,7 @@ impl SchedScratch {
         self.move_route = move_route;
         self.move_into = move_into;
         self.spill_store_of = spill_store_of;
+        self.spill_memo = spill_memo;
     }
 }
 
@@ -160,6 +182,7 @@ mod tests {
         let move_route = scratch.take_move_route();
         let move_into = scratch.take_move_into();
         let spill_store_of = scratch.take_spill_store_of();
+        let spill_memo = scratch.take_spill_memo();
         scratch.reclaim(
             sched,
             pressure,
@@ -168,6 +191,7 @@ mod tests {
             move_route,
             move_into,
             spill_store_of,
+            spill_memo,
         );
 
         // Re-take for a different machine/II: everything must look fresh.

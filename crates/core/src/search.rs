@@ -1,0 +1,689 @@
+//! The pluggable II-search engine.
+//!
+//! PR 4's transactional [`DepGraph`] made an II restart an O(edits)
+//! rollback instead of a graph clone, which makes exploring *several*
+//! candidate IIs — or re-entering a failed II with a perturbed priority
+//! order — nearly free. This module turns the former monolithic
+//! `fail → II+1` loop into a small search layer:
+//!
+//! * a [`SearchDriver`] owns the working graph, the nested
+//!   [`CheckpointStack`], the epoch-cached HRMS order and the
+//!   [`SchedScratch`], runs attempts through the unchanged MIRS-C engine
+//!   ([`MirsScheduler::attempt`](crate::MirsScheduler)) and keeps the best
+//!   successful candidate;
+//! * a [`SearchStrategy`] decides, from a [`SearchView`] of what happened
+//!   so far, the next [`SearchMove`]: try an II with the canonical order,
+//!   re-enter one with a deterministically perturbed order, accept the
+//!   best candidate, or give up.
+//!
+//! Three strategies ship ([`LinearSearch`], [`BacktrackingSearch`],
+//! [`PerturbedRestartSearch`]); [`LinearSearch`] is the default and is
+//! bit-identical to the paper's monotonic climb — the golden schedule-hash
+//! tests pin that equivalence. Candidates are compared by the paper's
+//! metric order: achieved II first, then spill operations (memory-traffic
+//! overhead), then moves, with the earliest attempt winning ties, so the
+//! branching strategies can never return a worse (II, spill-ops) pair than
+//! the linear climb — they always include its canonical attempts.
+//!
+//! Determinism: every perturbation seed is derived from
+//! `(SearchConfig::seed, ii, branch index)` by a SplitMix64 mix, so the
+//! same loop explores the identical tree in every run, on every thread of
+//! the parallel sweep harness.
+
+use crate::error::ScheduleError;
+use crate::options::{SearchConfig, SearchStrategyKind};
+use crate::result::{ScheduleResult, SchedulerStats, SearchMeta};
+use crate::scheduler::{debug_enabled, graph_audit_enabled, AttemptOutcome, MirsScheduler};
+use crate::scratch::SchedScratch;
+use ddg::{hrms, mii, CheckpointStack, DepGraph, Loop, NodeId};
+use std::time::Instant;
+use vliw::Opcode;
+
+/// Next action requested by a [`SearchStrategy`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SearchMove {
+    /// Attempt scheduling at `ii` with the canonical HRMS priority order.
+    TryII(u32),
+    /// Attempt `ii` with the priority order perturbed by `seed`.
+    RetryPerturbed {
+        /// Candidate initiation interval to re-enter.
+        ii: u32,
+        /// Perturbation seed (derive it deterministically!).
+        seed: u64,
+    },
+    /// Stop and accept the best candidate found so far.
+    Accept,
+    /// Stop without a schedule ([`ScheduleError::NotConverged`]).
+    GiveUp,
+}
+
+/// What one finished attempt looked like, fed back to the strategy.
+#[derive(Debug, Clone, Copy)]
+pub struct AttemptReport {
+    /// Initiation interval that was attempted.
+    pub ii: u32,
+    /// Perturbation seed, `None` for the canonical order.
+    pub seed: Option<u64>,
+    /// Whether the attempt produced a valid schedule.
+    pub success: bool,
+    /// Spill operations of the schedule (0 on failure).
+    pub spill_ops: u32,
+    /// Whether this attempt became the incumbent best candidate.
+    pub became_best: bool,
+}
+
+/// Read-only view of the search state a strategy decides from.
+#[derive(Debug, Clone, Copy)]
+pub struct SearchView {
+    /// Lower II bound (`max(ResMII, RecMII)`) — where climbs start.
+    pub mii: u32,
+    /// Hard upper II bound from [`SchedulerOptions::max_ii`](crate::SchedulerOptions).
+    pub max_ii: u32,
+    /// Attempts made so far.
+    pub attempts: u32,
+    /// Report of the attempt that just finished (`None` before the first).
+    pub last: Option<AttemptReport>,
+    /// `(ii, spill_ops)` of the incumbent best candidate, if any.
+    pub best: Option<(u32, u32)>,
+}
+
+/// A strategy for searching the candidate-II space.
+///
+/// The driver calls [`SearchStrategy::next_move`] exactly once per decision
+/// point: before the first attempt, and after every finished attempt (the
+/// [`SearchView::last`] report tells the strategy how it went). Returning
+/// [`SearchMove::Accept`] immediately after a successful attempt accepts
+/// that attempt *in place* — no graph clone — which is why the default
+/// linear strategy keeps the zero-clone property of the pre-search
+/// scheduler.
+pub trait SearchStrategy {
+    /// Which strategy this is (recorded in [`SearchMeta`]).
+    fn kind(&self) -> SearchStrategyKind;
+    /// Decide the next move.
+    fn next_move(&mut self, view: &SearchView) -> SearchMove;
+}
+
+/// SplitMix64 mixing step — the deterministic seed/jitter generator used
+/// for priority perturbations (no external PRNG dependency).
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Attempt seed for branch `branch` of candidate II `ii`.
+fn derive_seed(base: u64, ii: u32, branch: u32) -> u64 {
+    splitmix64(base ^ (u64::from(ii) << 32) ^ u64::from(branch))
+}
+
+/// How far (in list positions) a perturbation may displace a node.
+const PERTURB_STRENGTH: f64 = 3.0;
+
+/// Deterministically perturb an HRMS order into `out`: every node's rank
+/// is jittered by up to [`PERTURB_STRENGTH`] positions and the list
+/// re-sorted (stably), so the global HRMS structure survives while local
+/// ties and near-ties are reshuffled. Identical `(order, seed)` inputs
+/// produce identical outputs on every platform.
+pub(crate) fn perturb_order(order: &[NodeId], seed: u64, out: &mut Vec<NodeId>) {
+    let mut state = splitmix64(seed);
+    let mut keyed: Vec<(f64, NodeId)> = order
+        .iter()
+        .enumerate()
+        .map(|(i, &n)| {
+            state = splitmix64(state);
+            // 53 uniform mantissa bits in [0, 1).
+            let unit = (state >> 11) as f64 / (1u64 << 53) as f64;
+            (i as f64 + unit * PERTURB_STRENGTH, n)
+        })
+        .collect();
+    keyed.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite keys"));
+    out.clear();
+    out.extend(keyed.into_iter().map(|(_, n)| n));
+}
+
+/// The paper's monotonic climb: try `mii`, `mii+1`, … with the canonical
+/// order and accept the first success. Bit-identical to the pre-search
+/// scheduler (and its zero-clone fast path).
+#[derive(Debug, Default)]
+pub struct LinearSearch {
+    next_ii: Option<u32>,
+}
+
+impl SearchStrategy for LinearSearch {
+    fn kind(&self) -> SearchStrategyKind {
+        SearchStrategyKind::Linear
+    }
+
+    fn next_move(&mut self, view: &SearchView) -> SearchMove {
+        if view.last.is_some_and(|r| r.success) {
+            return SearchMove::Accept;
+        }
+        let ii = self.next_ii.unwrap_or(view.mii);
+        if ii > view.max_ii {
+            return SearchMove::GiveUp;
+        }
+        self.next_ii = Some(ii + 1);
+        SearchMove::TryII(ii)
+    }
+}
+
+/// Branching multi-II exploration: at every candidate II, try the
+/// canonical order plus [`SearchConfig::branches`] perturbed orders (each
+/// under a nested graph checkpoint), keep climbing while nothing succeeds,
+/// and accept the best candidate once [`SearchConfig::ii_window`] candidate
+/// IIs at/after the first feasible one are fully explored.
+///
+/// Because the canonical attempt of every II is part of the branch set,
+/// the accepted `(ii, spill_ops)` is never worse than [`LinearSearch`]'s —
+/// and strictly better whenever a perturbed order unlocks a smaller II or
+/// saves spill code at the same II.
+#[derive(Debug)]
+pub struct BacktrackingSearch {
+    cfg: SearchConfig,
+    ii: Option<u32>,
+    /// Next branch index at the current II (0 = canonical still pending).
+    branch: u32,
+}
+
+impl BacktrackingSearch {
+    /// Strategy with the given parameters.
+    #[must_use]
+    pub fn new(cfg: SearchConfig) -> Self {
+        Self {
+            cfg,
+            ii: None,
+            branch: 0,
+        }
+    }
+}
+
+impl SearchStrategy for BacktrackingSearch {
+    fn kind(&self) -> SearchStrategyKind {
+        SearchStrategyKind::Backtracking
+    }
+
+    fn next_move(&mut self, view: &SearchView) -> SearchMove {
+        let Some(ii) = self.ii else {
+            if view.mii > view.max_ii {
+                return SearchMove::GiveUp;
+            }
+            self.ii = Some(view.mii);
+            self.branch = 1;
+            return SearchMove::TryII(view.mii);
+        };
+        if self.branch <= self.cfg.branches {
+            let seed = derive_seed(self.cfg.seed, ii, self.branch);
+            self.branch += 1;
+            return SearchMove::RetryPerturbed { ii, seed };
+        }
+        // The II's branch group is complete.
+        if let Some((best_ii, _)) = view.best {
+            let explored_at_or_after = ii.saturating_sub(best_ii) + 1;
+            if explored_at_or_after >= self.cfg.ii_window.max(1) || ii + 1 > view.max_ii {
+                return SearchMove::Accept;
+            }
+        } else if ii + 1 > view.max_ii {
+            return SearchMove::GiveUp;
+        }
+        self.ii = Some(ii + 1);
+        self.branch = 1;
+        SearchMove::TryII(ii + 1)
+    }
+}
+
+/// Perturbed-restart climb: like [`LinearSearch`], but a *failed* II is
+/// re-entered up to [`SearchConfig::retries`] times with perturbed
+/// priority orders before the II is raised. The first success (canonical
+/// or perturbed) is accepted, so the achieved II is never larger than the
+/// linear strategy's.
+#[derive(Debug)]
+pub struct PerturbedRestartSearch {
+    cfg: SearchConfig,
+    ii: Option<u32>,
+    retry: u32,
+}
+
+impl PerturbedRestartSearch {
+    /// Strategy with the given parameters.
+    #[must_use]
+    pub fn new(cfg: SearchConfig) -> Self {
+        Self {
+            cfg,
+            ii: None,
+            retry: 0,
+        }
+    }
+}
+
+impl SearchStrategy for PerturbedRestartSearch {
+    fn kind(&self) -> SearchStrategyKind {
+        SearchStrategyKind::PerturbedRestart
+    }
+
+    fn next_move(&mut self, view: &SearchView) -> SearchMove {
+        if view.last.is_some_and(|r| r.success) {
+            return SearchMove::Accept;
+        }
+        let Some(ii) = self.ii else {
+            if view.mii > view.max_ii {
+                return SearchMove::GiveUp;
+            }
+            self.ii = Some(view.mii);
+            self.retry = 0;
+            return SearchMove::TryII(view.mii);
+        };
+        if self.retry < self.cfg.retries {
+            self.retry += 1;
+            return SearchMove::RetryPerturbed {
+                ii,
+                seed: derive_seed(self.cfg.seed, ii, self.retry),
+            };
+        }
+        if ii + 1 > view.max_ii {
+            return SearchMove::GiveUp;
+        }
+        self.ii = Some(ii + 1);
+        self.retry = 0;
+        SearchMove::TryII(ii + 1)
+    }
+}
+
+/// Stack-allocated dispatch over the shipped strategies (no `Box` per
+/// scheduled loop).
+#[derive(Debug)]
+pub(crate) enum StrategyImpl {
+    Linear(LinearSearch),
+    Backtracking(BacktrackingSearch),
+    Perturbed(PerturbedRestartSearch),
+}
+
+impl StrategyImpl {
+    pub(crate) fn as_dyn(&mut self) -> &mut dyn SearchStrategy {
+        match self {
+            StrategyImpl::Linear(s) => s,
+            StrategyImpl::Backtracking(s) => s,
+            StrategyImpl::Perturbed(s) => s,
+        }
+    }
+}
+
+impl SearchConfig {
+    /// Instantiate the configured strategy.
+    pub(crate) fn strategy_impl(&self) -> StrategyImpl {
+        match self.strategy {
+            SearchStrategyKind::Linear => StrategyImpl::Linear(LinearSearch::default()),
+            SearchStrategyKind::Backtracking => {
+                StrategyImpl::Backtracking(BacktrackingSearch::new(*self))
+            }
+            SearchStrategyKind::PerturbedRestart => {
+                StrategyImpl::Perturbed(PerturbedRestartSearch::new(*self))
+            }
+        }
+    }
+}
+
+/// Candidate-comparison key: lower is better. II first (the paper's primary
+/// metric), then spill operations (memory-traffic overhead), then moves,
+/// then the attempt index — so between otherwise equal schedules the
+/// earliest (canonical-first) attempt wins and the search is deterministic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct CandidateKey {
+    ii: u32,
+    spill_ops: u32,
+    moves: u32,
+    attempt: u32,
+}
+
+/// A stashed successful attempt.
+struct Candidate {
+    key: CandidateKey,
+    result: ScheduleResult,
+}
+
+/// Hard cap on attempts per loop — a backstop against a runaway custom
+/// strategy, far above anything the shipped strategies can reach.
+const MAX_ATTEMPTS_FLOOR: u32 = 4096;
+
+/// The engine running a [`SearchStrategy`] over one loop.
+///
+/// Owns the working graph (the one clone of the whole search), the nested
+/// [`CheckpointStack`] (search root → candidate-II group → attempt, so
+/// branch rollbacks compose), the epoch-cached HRMS order and its perturbed
+/// variants, and drives the borrowed [`SchedScratch`] through every
+/// attempt.
+pub(crate) struct SearchDriver<'a, 'm> {
+    sched: &'a MirsScheduler<'m>,
+    lp: &'a Loop,
+    scratch: &'a mut SchedScratch,
+    graph: DepGraph,
+    cps: CheckpointStack,
+    order: Vec<NodeId>,
+    order_epoch: u64,
+    perturbed: Vec<NodeId>,
+    mem_ops_base: u64,
+    mii: u32,
+    max_ii: u32,
+    debug: bool,
+    audit: bool,
+    start: Instant,
+    // Search bookkeeping.
+    attempts: u32,
+    failures: u32,
+    successes: u32,
+    group_ii: Option<u32>,
+    last_ii: u32,
+    carried: SchedulerStats,
+    view: SearchView,
+    best: Option<Candidate>,
+    /// A move the strategy decided right after a success, to be executed on
+    /// the next loop turn (so the strategy is consulted once per decision).
+    deferred: Option<SearchMove>,
+}
+
+impl<'a, 'm> SearchDriver<'a, 'm> {
+    /// Set up the search for `lp`: clone the working graph, apply the
+    /// prefetch policy, derive recurrences/MII/HRMS order once, reset the
+    /// scratch's spill memo to the loop's base epoch and open the root of
+    /// the checkpoint tree.
+    pub(crate) fn new(
+        sched: &'a MirsScheduler<'m>,
+        lp: &'a Loop,
+        scratch: &'a mut SchedScratch,
+    ) -> Self {
+        let machine = sched.machine();
+        let opts = sched.options();
+        let lat = machine.latencies();
+        // The one graph clone of the whole run: every attempt works on
+        // this graph transactionally and is rolled back when abandoned.
+        let mut graph = lp.graph.clone();
+        crate::prefetch::apply_prefetch_policy(&mut graph, lat, &opts.prefetch, lp.trip_count);
+
+        // Recurrences feed both the RecMII bound and the HRMS ordering —
+        // derive them once instead of running Tarjan + the per-circuit
+        // binary searches twice per loop.
+        let recs = ddg::recurrence::recurrences(&graph, lat);
+        let bounds = mii::mii_with_recurrences(
+            &graph,
+            &recs,
+            machine.total_gp_units(),
+            machine.total_mem_ports(),
+        );
+        let mii_value = bounds.mii();
+        // The HRMS order depends only on graph structure, and a rollback
+        // restores both the structure and the epoch — so one ordering
+        // serves every attempt. The epoch check in `run_attempt` keeps the
+        // cache honest should an edit ever escape the transaction
+        // discipline.
+        let order = hrms::hrms_order_with(&graph, lat, &recs);
+        let order_epoch = graph.structural_epoch();
+        // Invariant across attempts for the same reason the order is: the
+        // rollback restores the graph bit-identically at attempt start.
+        let mem_ops_base = graph.count_ops(Opcode::is_memory) as u64;
+        // Structural memo entries taken at this epoch stay valid across
+        // every rollback of the search.
+        scratch.spill_memo_mut().begin_loop(&graph, order_epoch);
+        let mut cps = CheckpointStack::new();
+        cps.push(&mut graph); // depth 1: the root of the search tree
+        let view = SearchView {
+            mii: mii_value,
+            max_ii: opts.max_ii,
+            attempts: 0,
+            last: None,
+            best: None,
+        };
+        Self {
+            sched,
+            lp,
+            scratch,
+            graph,
+            cps,
+            order,
+            order_epoch,
+            perturbed: Vec::new(),
+            mem_ops_base,
+            mii: mii_value,
+            max_ii: opts.max_ii,
+            debug: debug_enabled(),
+            audit: graph_audit_enabled(),
+            start: Instant::now(),
+            attempts: 0,
+            failures: 0,
+            successes: 0,
+            group_ii: None,
+            last_ii: mii_value.saturating_sub(1),
+            carried: SchedulerStats::default(),
+            view,
+            best: None,
+            deferred: None,
+        }
+    }
+
+    /// Drive `strategy` to completion.
+    pub(crate) fn run(
+        mut self,
+        strategy: &mut dyn SearchStrategy,
+    ) -> Result<ScheduleResult, ScheduleError> {
+        let attempt_cap = MAX_ATTEMPTS_FLOOR.max(self.max_ii.saturating_mul(8));
+        loop {
+            let mv = match self.deferred.take() {
+                Some(mv) => mv,
+                None => strategy.next_move(&self.view),
+            };
+            let (ii, seed) = match mv {
+                // A strategy giving up while holding a feasible candidate
+                // still gets that candidate accepted — "stop searching"
+                // must never discard a valid schedule.
+                SearchMove::Accept | SearchMove::GiveUp => return self.accept(strategy),
+                SearchMove::TryII(ii) => (ii, None),
+                SearchMove::RetryPerturbed { ii, seed } => (ii, Some(seed)),
+            };
+            if self.attempts >= attempt_cap {
+                // Backstop: a non-terminating custom strategy degrades to
+                // accept-best / NotConverged instead of spinning forever.
+                return self.accept(strategy);
+            }
+            if ii < self.mii || ii > self.max_ii {
+                // Out-of-range proposal (custom strategy): report it as a
+                // failed attempt so the strategy moves on.
+                self.attempts += 1;
+                self.record(AttemptReport {
+                    ii,
+                    seed,
+                    success: false,
+                    spill_ops: 0,
+                    became_best: false,
+                });
+                continue;
+            }
+            if let Some(accepted) = self.run_attempt(strategy, ii, seed)? {
+                return Ok(accepted);
+            }
+        }
+    }
+
+    /// Execute one attempt and feed the outcome to the strategy. Returns
+    /// `Some(result)` when the attempt was accepted in place.
+    fn run_attempt(
+        &mut self,
+        strategy: &mut dyn SearchStrategy,
+        ii: u32,
+        seed: Option<u64>,
+    ) -> Result<Option<ScheduleResult>, ScheduleError> {
+        // Paranoia refresh of the epoch-cached order (rollbacks restore
+        // the epoch, so this never fires under the transaction discipline).
+        if self.graph.structural_epoch() != self.order_epoch {
+            self.order = hrms::hrms_order(&self.graph, self.sched.machine().latencies());
+            self.order_epoch = self.graph.structural_epoch();
+        }
+        // Candidate-II group level of the checkpoint tree (depth 2): the
+        // first attempt at a new II opens a fresh group branch.
+        if self.group_ii != Some(ii) {
+            self.cps.abandon_to(&mut self.graph, 1);
+            self.cps.push(&mut self.graph);
+            self.group_ii = Some(ii);
+        }
+        self.last_ii = self.last_ii.max(ii);
+        self.attempts += 1;
+        let attempt_index = self.attempts;
+        self.scratch.spill_memo_mut().begin_attempt();
+        // Attempt level (depth 3).
+        let depth = self.cps.push(&mut self.graph);
+        debug_assert!(depth >= 3, "search root, II group and attempt nest");
+        let audit_base = if self.audit {
+            Some(self.graph.clone())
+        } else {
+            None
+        };
+        let order: &[NodeId] = match seed {
+            Some(seed) => {
+                perturb_order(&self.order, seed, &mut self.perturbed);
+                &self.perturbed
+            }
+            None => &self.order,
+        };
+        let outcome = self.sched.attempt(
+            &mut self.graph,
+            order,
+            ii,
+            self.mem_ops_base,
+            self.debug,
+            self.scratch,
+            &mut self.carried,
+        );
+        match outcome {
+            AttemptOutcome::Restart => {
+                self.cps.abandon(&mut self.graph);
+                self.audit_rollback(&audit_base, ii);
+                self.failures += 1;
+                self.record(AttemptReport {
+                    ii,
+                    seed,
+                    success: false,
+                    spill_ops: 0,
+                    became_best: false,
+                });
+                Ok(None)
+            }
+            AttemptOutcome::Success(st) => {
+                // NOTE: `st` holds the mutable borrow of `self.graph`, so
+                // this block must stick to disjoint-field accesses (view,
+                // best, scratch, …) until `st` is consumed.
+                let spill_ops = st.spill_op_count();
+                let key = CandidateKey {
+                    ii,
+                    spill_ops,
+                    moves: st.move_op_count(),
+                    attempt: attempt_index,
+                };
+                let became_best = self.best.as_ref().is_none_or(|b| key < b.key);
+                self.successes += 1;
+                self.view.attempts = self.attempts;
+                self.view.last = Some(AttemptReport {
+                    ii,
+                    seed,
+                    success: true,
+                    spill_ops,
+                    became_best,
+                });
+                if became_best {
+                    self.view.best = Some((ii, spill_ops));
+                }
+                // Consult the strategy while the attempt is still live: an
+                // immediate accept of the incumbent takes the working graph
+                // without any clone (the linear fast path).
+                let mv = strategy.next_move(&self.view);
+                if mv == SearchMove::Accept && became_best {
+                    let mut result = st.into_result(self.scratch, &self.lp.name, self.mii, true);
+                    result.stats.restarts = self.failures;
+                    self.cps.clear();
+                    return Ok(Some(self.finish(strategy, result)));
+                }
+                // Stash-or-discard, then abandon the attempt branch so the
+                // search continues from the pristine group state.
+                if became_best {
+                    let mut result = st.into_result(self.scratch, &self.lp.name, self.mii, false);
+                    result.stats.restarts = self.failures;
+                    self.best = Some(Candidate { key, result });
+                } else {
+                    st.reclaim_into(self.scratch);
+                }
+                self.cps.abandon(&mut self.graph);
+                self.audit_rollback(&audit_base, ii);
+                match mv {
+                    SearchMove::Accept | SearchMove::GiveUp => self.accept(strategy).map(Some),
+                    next => {
+                        // Defer the already-decided move to the main loop.
+                        debug_assert!(self.deferred.is_none());
+                        self.deferred = Some(next);
+                        Ok(None)
+                    }
+                }
+            }
+        }
+    }
+
+    /// Record a finished attempt in the strategy-facing view.
+    fn record(&mut self, report: AttemptReport) {
+        self.view.attempts = self.attempts;
+        self.view.last = Some(report);
+        if report.success && report.became_best {
+            self.view.best = Some((report.ii, report.spill_ops));
+        }
+    }
+
+    /// Assert the rollback restored the attempt-start graph bit-identically
+    /// (debug builds and `MIRS_GRAPH_AUDIT=1` release runs).
+    fn audit_rollback(&self, base: &Option<DepGraph>, ii: u32) {
+        if let Some(base) = base {
+            assert!(
+                self.graph.same_content(base),
+                "transactional rollback diverged from the attempt-start graph \
+                 for loop '{}' at II {ii}",
+                self.lp.name
+            );
+        }
+    }
+
+    /// Accept the best stashed candidate, or fail with `NotConverged`.
+    fn accept(
+        &mut self,
+        strategy: &mut dyn SearchStrategy,
+    ) -> Result<ScheduleResult, ScheduleError> {
+        match self.best.take() {
+            Some(c) => Ok(self.finish(strategy, c.result)),
+            None => Err(ScheduleError::NotConverged {
+                loop_name: self.lp.name.clone(),
+                last_ii: self.last_ii,
+            }),
+        }
+    }
+
+    /// Stamp the accepted result with timing and search metadata.
+    fn finish(
+        &mut self,
+        strategy: &dyn SearchStrategy,
+        mut result: ScheduleResult,
+    ) -> ScheduleResult {
+        result.stats.scheduling_seconds = self.start.elapsed().as_secs_f64();
+        result.search = SearchMeta {
+            strategy: strategy.kind(),
+            attempts: self.attempts,
+            candidates: self.successes,
+        };
+        if self.debug {
+            eprintln!(
+                "SEARCH: loop '{}' strategy={} ii={} attempts={} candidates={} \
+                 spill-memo {}/{} hits",
+                self.lp.name,
+                result.search.strategy,
+                result.ii,
+                result.search.attempts,
+                result.search.candidates,
+                result.stats.spill_memo_hits,
+                result.stats.spill_memo_hits + result.stats.spill_memo_misses,
+            );
+        }
+        result
+    }
+}

@@ -13,12 +13,12 @@ impl SchedState<'_, '_> {
         let ii = i64::from(self.sched.ii());
         let mut early: Option<i64> = None;
         for &e in self.graph.in_edge_ids(node) {
-            let edge = *self.graph.edge(e);
+            let edge = self.graph.edge(e);
             if edge.from == node {
                 continue; // self edge constrains nothing within one iteration
             }
             if let Some(pc) = self.sched.cycle_of(edge.from) {
-                let bound = pc + self.graph.edge_latency(e, lat) - ii * i64::from(edge.distance);
+                let bound = pc + self.graph.latency_of(edge, lat) - ii * i64::from(edge.distance);
                 early = Some(early.map_or(bound, |c| c.max(bound)));
             }
         }
@@ -32,12 +32,12 @@ impl SchedState<'_, '_> {
         let ii = i64::from(self.sched.ii());
         let mut late: Option<i64> = None;
         for &e in self.graph.out_edge_ids(node) {
-            let edge = *self.graph.edge(e);
+            let edge = self.graph.edge(e);
             if edge.to == node {
                 continue;
             }
             if let Some(sc) = self.sched.cycle_of(edge.to) {
-                let bound = sc - self.graph.edge_latency(e, lat) + ii * i64::from(edge.distance);
+                let bound = sc - self.graph.latency_of(edge, lat) + ii * i64::from(edge.distance);
                 late = Some(late.map_or(bound, |c| c.min(bound)));
             }
         }
@@ -56,7 +56,12 @@ impl SchedState<'_, '_> {
     ///
     /// Spill loads and stores are additionally constrained by the distance
     /// gauge `DG` so they stay close to their consumer/producer.
-    pub(crate) fn window(&self, node: NodeId, _cluster: vliw::ClusterId) -> Window {
+    ///
+    /// The window depends only on the node and the already-placed
+    /// neighbours — not on the candidate cluster — which is why
+    /// `select_cluster` computes it once and probes every cluster's
+    /// reservation table against the same window.
+    pub(crate) fn window(&self, node: NodeId) -> Window {
         let ii = i64::from(self.sched.ii());
         let early = self.early_start(node);
         let late = self.late_start(node);

@@ -10,12 +10,258 @@
 
 use crate::scheduler::SchedState;
 use ddg::lifetime::{LifetimeInterval, Pressure};
-use ddg::{MemAccess, NodeId, NodeOrigin, OperationData, ValueId};
-use vliw::{ClusterId, Opcode};
+use ddg::{DepGraph, MemAccess, NodeId, NodeOrigin, OperationData, ValueId};
+use vliw::{ClusterId, LatencyModel, Opcode};
 
 /// Array-symbol namespace reserved for spill locations (far above anything a
 /// loop builder will allocate, so spill accesses never alias program arrays).
 const SPILL_ARRAY_BASE: u32 = 1 << 24;
+
+/// Structural (schedule-independent) spill data of one value: everything
+/// `select_spill_candidate` derives from the *graph* rather than from the
+/// partial schedule. Re-deriving these lists dominated the spill heuristic
+/// on restart-heavy configurations — the same scans ran once per spill
+/// check, per cluster, per attempt, although the underlying structure is
+/// identical at every attempt start (the rollback restores it bit for bit).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub(crate) struct VariantUses {
+    /// Producer of the value (`None` → nothing to spill).
+    pub producer: Option<NodeId>,
+    /// Latency of the producer under the machine's latency model (the
+    /// non-spillable prefix of the first lifetime section).
+    pub producer_latency: i64,
+    /// Whether the producer is itself a spill reload (never re-spilled).
+    pub reload: bool,
+    /// `(consumer, iteration distance)` of every flow edge carrying the
+    /// value out of its producer, excluding spill stores, in out-edge
+    /// order (empty when `reload`).
+    pub uses: Vec<(NodeId, u32)>,
+}
+
+/// Compute [`VariantUses`] from scratch — the oracle the memo caches.
+fn compute_variant_uses(graph: &DepGraph, lat: &LatencyModel, v: ValueId) -> VariantUses {
+    let Some(producer) = graph.value(v).producer else {
+        return VariantUses::default();
+    };
+    let reload = matches!(graph.op(producer).origin, NodeOrigin::SpillLoad { .. });
+    let producer_latency = i64::from(graph.op(producer).latency(lat));
+    let mut uses = Vec::new();
+    if !reload {
+        for &e in graph.out_edge_ids(producer) {
+            let edge = graph.edge(e);
+            if edge.value != Some(v) {
+                continue;
+            }
+            if matches!(graph.op(edge.to).origin, NodeOrigin::SpillStore { .. }) {
+                continue;
+            }
+            uses.push((edge.to, edge.distance));
+        }
+    }
+    VariantUses {
+        producer: Some(producer),
+        producer_latency,
+        reload,
+        uses,
+    }
+}
+
+/// Compute the loop-carried values `node` produces besides its `dest` —
+/// the oracle behind [`SpillMemo::carried`] (deterministic: out-edge order,
+/// deduplicated).
+pub(crate) fn compute_carried_values(graph: &DepGraph, node: NodeId) -> Vec<ValueId> {
+    let dest = graph.op(node).dest;
+    let mut extra: Vec<ValueId> = Vec::new();
+    for &e in graph.out_edge_ids(node) {
+        let Some(v) = graph.edge(e).value else {
+            continue;
+        };
+        if Some(v) == dest || graph.value(v).producer != Some(node) {
+            continue;
+        }
+        if !extra.contains(&v) {
+            extra.push(v);
+        }
+    }
+    extra
+}
+
+/// One memoised entry plus the validity stamps it was taken under.
+#[derive(Debug)]
+struct MemoSlot<T> {
+    epoch: u64,
+    token: u64,
+    data: T,
+}
+
+/// Cross-restart memo of the structural spill-candidate data, carried in
+/// [`SchedScratch`](crate::SchedScratch) so it persists across II attempts
+/// (and is re-warmed, not re-allocated, across loops).
+///
+/// Entries are keyed by value and stamped with the structural epoch they
+/// were derived at; they are invalidated exactly when the structure they
+/// summarise moves — every scheduler mutation that rewires a value
+/// (move creation, consumer rewiring, move removal, spill insertion) calls
+/// [`SpillMemo::invalidate`] for the values it touches, right next to the
+/// `PressureTracker::mark_value` call those sites already make.
+///
+/// Validity across *rollbacks* needs one extra guard: the epoch is restored
+/// by every rollback, so a raw epoch comparison would alias states from
+/// different attempts (attempt 1's third edit and attempt 2's third edit
+/// both sit at `base + 3`). An entry is therefore trusted only if
+///
+/// * it was derived at the loop's **base epoch** — the attempt-start
+///   structure every rollback provably restores bit-identically, so these
+///   entries survive all restarts (this is the cross-restart memoisation:
+///   larger-II attempts stop re-deriving the same use lists), or
+/// * it was derived **within the current attempt** (epochs only move
+///   forward between rollbacks, and the invalidation hooks keep the entry
+///   honest against every in-attempt rewiring).
+///
+/// The memo is purely an accelerator: every lookup is `debug_assert`ed
+/// equal to a from-scratch recomputation, and the golden schedule-hash
+/// tests pin that schedules are unchanged.
+#[derive(Debug, Default)]
+pub struct SpillMemo {
+    base_epoch: u64,
+    token: u64,
+    /// Per-value slots indexed by `ValueId::index` — values are allocated
+    /// densely and never removed, so a flat table beats hashing on the
+    /// spill-check hot path. Grown lazily as the scheduler adds values.
+    uses: Vec<Option<MemoSlot<VariantUses>>>,
+    /// Invariant values of the loop. The set is fixed for the whole run:
+    /// the scheduler only ever adds non-invariant values (move copies,
+    /// spill reloads) and never removes values, so one scan serves every
+    /// spill check of every attempt.
+    invariants: Option<Vec<ValueId>>,
+    /// Loop-carried values produced by each node besides its `dest`,
+    /// indexed by `NodeId::index` and precomputed from the base graph (one
+    /// pass per loop instead of an out-edge scan per cluster per node
+    /// pick). The content is loop-constant: producers of carried values
+    /// are fixed at graph construction, scheduler-inserted nodes only
+    /// define fresh values, and a carried value always keeps at least one
+    /// carrying out-edge at its producer (moves and spill stores replace
+    /// direct edges with edges that still carry the value). Nodes inserted
+    /// during scheduling read as empty, which is exact for them.
+    carried: Vec<Vec<ValueId>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl SpillMemo {
+    /// Reset for a new loop whose attempt-start structure is `graph` at
+    /// `base_epoch`, precomputing the carried-values table.
+    pub(crate) fn begin_loop(&mut self, graph: &DepGraph, base_epoch: u64) {
+        self.base_epoch = base_epoch;
+        self.token = 0;
+        self.uses.clear();
+        self.uses.resize_with(graph.value_count(), || None);
+        self.invariants = None;
+        self.hits = 0;
+        self.misses = 0;
+        self.carried.clear();
+        self.carried.resize_with(graph.node_capacity(), Vec::new);
+        for n in graph.node_ids() {
+            let list = compute_carried_values(graph, n);
+            if !list.is_empty() {
+                self.carried[n.index()] = list;
+            }
+        }
+    }
+
+    /// Loop-carried values `node` produces besides its `dest` (empty for
+    /// the overwhelmingly common dest-only case and for nodes inserted
+    /// during scheduling).
+    pub(crate) fn carried(&self, node: NodeId) -> &[ValueId] {
+        static EMPTY: [ValueId; 0] = [];
+        self.carried
+            .get(node.index())
+            .map_or(&EMPTY[..], Vec::as_slice)
+    }
+
+    /// Mark the start of a new scheduling attempt (invalidates mid-attempt
+    /// entries of the previous one; base-epoch entries stay valid).
+    pub(crate) fn begin_attempt(&mut self) {
+        self.token += 1;
+    }
+
+    /// Drop the entry of `v`: its producer's out-edges, its consumer set or
+    /// its operand wiring just changed. Called by every structural rewiring
+    /// site in the scheduler (alongside `PressureTracker::mark_value`).
+    pub(crate) fn invalidate(&mut self, v: ValueId) {
+        if let Some(slot) = self.uses.get_mut(v.index()) {
+            *slot = None;
+        }
+    }
+
+    /// `(hits, misses)` since [`SpillMemo::begin_loop`].
+    pub(crate) fn counters(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    fn slot_valid(&self, epoch: u64, token: u64) -> bool {
+        epoch == self.base_epoch || token == self.token
+    }
+
+    /// Structural use list of `v`, memoised.
+    pub(crate) fn variant_uses(
+        &mut self,
+        graph: &DepGraph,
+        lat: &LatencyModel,
+        v: ValueId,
+    ) -> &VariantUses {
+        if v.index() >= self.uses.len() {
+            self.uses.resize_with(v.index() + 1, || None);
+        }
+        let hit = self.uses[v.index()]
+            .as_ref()
+            .is_some_and(|s| self.slot_valid(s.epoch, s.token));
+        if hit {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+            let data = compute_variant_uses(graph, lat, v);
+            self.uses[v.index()] = Some(MemoSlot {
+                epoch: graph.structural_epoch(),
+                token: self.token,
+                data,
+            });
+        }
+        let slot = self.uses[v.index()].as_ref().expect("filled above");
+        debug_assert_eq!(
+            slot.data,
+            compute_variant_uses(graph, lat, v),
+            "memoised use list diverged from the graph for {v:?}"
+        );
+        &slot.data
+    }
+
+    /// The loop's invariant values, memoised once per loop (the spill
+    /// heuristic otherwise scans every value per cluster per check).
+    pub(crate) fn invariant_values(&mut self, graph: &DepGraph) -> &[ValueId] {
+        if self.invariants.is_some() {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+            self.invariants = Some(
+                graph
+                    .value_ids()
+                    .filter(|&v| graph.value(v).invariant)
+                    .collect(),
+            );
+        }
+        let data = self.invariants.as_ref().expect("filled above");
+        debug_assert_eq!(
+            *data,
+            graph
+                .value_ids()
+                .filter(|&v| graph.value(v).invariant)
+                .collect::<Vec<_>>(),
+            "memoised invariant set diverged from the graph"
+        );
+        data
+    }
+}
 
 /// A lifetime section selected for spilling.
 #[derive(Debug, Clone)]
@@ -185,8 +431,12 @@ impl SchedState<'_, '_> {
     /// the largest ratio between its span and the memory traffic its
     /// spilling would create. Returns `None` when no section spans at least
     /// the minimum span gauge.
+    ///
+    /// The structural inputs (invariant set, per-value use lists) come from
+    /// the cross-restart [`SpillMemo`]; only the schedule-dependent parts
+    /// (cycles, spans, the critical-cycle filter) are derived per call.
     fn select_spill_candidate(
-        &self,
+        &mut self,
         cluster: ClusterId,
         critical_cycle: u32,
         intervals: &[LifetimeInterval],
@@ -194,6 +444,13 @@ impl SchedState<'_, '_> {
     ) -> Option<SpillCandidate> {
         let ii = self.sched.ii();
         let lat = self.machine.latencies();
+        // Split borrows: the memo mutates (hit counters, fresh entries)
+        // while graph/schedule/indices are read-only, so the loop bodies
+        // below must stay on direct field accesses.
+        let memo = &mut self.memo;
+        let graph = &*self.graph;
+        let sched = &self.sched;
+        let spill_store_of = &self.spill_store_of;
         let mut best: Option<SpillCandidate> = None;
         let mut consider = |cand: SpillCandidate| match &best {
             Some(b) if b.ratio >= cand.ratio => {}
@@ -204,17 +461,12 @@ impl SchedState<'_, '_> {
         // memory in front of each consumer (they already live in memory), so
         // the traffic is one load and the span is the whole loop.
         if i64::from(ii) >= min_span {
-            for v in self.graph.value_ids() {
-                let data = self.graph.value(v);
-                if !data.invariant {
-                    continue;
-                }
-                let consumers: Vec<NodeId> = self
-                    .graph
+            for &v in memo.invariant_values(graph) {
+                let consumers: Vec<NodeId> = graph
                     .consumer_ids(v)
                     .iter()
                     .copied()
-                    .filter(|&c| self.sched.cluster_of(c) == Some(cluster))
+                    .filter(|&c| sched.cluster_of(c) == Some(cluster))
                     .collect();
                 if consumers.is_empty() {
                     continue;
@@ -237,36 +489,31 @@ impl SchedState<'_, '_> {
                 continue;
             }
             let v = interval.value;
-            let data = self.graph.value(v);
-            let Some(producer) = data.producer else {
+            let entry = memo.variant_uses(graph, lat, v);
+            let Some(producer) = entry.producer else {
                 continue;
             };
             // Values produced by spill loads are not spilled again.
-            if matches!(self.graph.op(producer).origin, NodeOrigin::SpillLoad { .. }) {
+            if entry.reload {
                 continue;
             }
-            let def_cycle = self
-                .sched
+            let def_cycle = sched
                 .cycle_of(producer)
                 .expect("interval producer scheduled");
-            let producer_latency = i64::from(self.graph.op(producer).latency(lat));
-            let already_stored = self.existing_spill_store(v).is_some();
+            let producer_latency = entry.producer_latency;
+            let already_stored = spill_store_of.contains_key(&v);
+            debug_assert_eq!(
+                already_stored,
+                graph.node_ids().any(|n| matches!(
+                    graph.op(n).origin,
+                    NodeOrigin::SpillStore { value } if value == v
+                ))
+            );
             // Consider every scheduled consumer as the end of a use section.
-            let mut uses: Vec<(NodeId, i64, u32)> = Vec::new();
-            for e in self.graph.out_edges(producer) {
-                let edge = self.graph.edge(e);
-                if edge.value != Some(v) {
-                    continue;
-                }
-                if matches!(self.graph.op(edge.to).origin, NodeOrigin::SpillStore { .. }) {
-                    continue;
-                }
-                if let Some(uc) = self.sched.cycle_of(edge.to) {
-                    uses.push((
-                        edge.to,
-                        uc + i64::from(ii) * i64::from(edge.distance),
-                        edge.distance,
-                    ));
+            let mut uses: Vec<(NodeId, i64, u32)> = Vec::with_capacity(entry.uses.len());
+            for &(to, distance) in &entry.uses {
+                if let Some(uc) = sched.cycle_of(to) {
+                    uses.push((to, uc + i64::from(ii) * i64::from(distance), distance));
                 }
             }
             uses.sort_by_key(|&(_, c, _)| c);
@@ -294,13 +541,12 @@ impl SchedState<'_, '_> {
                 // so the register lifetime really ends at the section start.
                 let tail: Vec<NodeId> = uses[idx..].iter().map(|&(c, _, _)| c).collect();
                 let distance = uses[idx..].iter().map(|&(_, _, d)| d).min().unwrap_or(0);
-                let unscheduled: Vec<NodeId> = self
-                    .graph
+                let unscheduled: Vec<NodeId> = graph
                     .consumer_ids(v)
                     .iter()
                     .copied()
-                    .filter(|c| !self.sched.is_scheduled(*c) && !tail.contains(c))
-                    .filter(|&c| !matches!(self.graph.op(c).origin, NodeOrigin::SpillStore { .. }))
+                    .filter(|c| !sched.is_scheduled(*c) && !tail.contains(c))
+                    .filter(|&c| !matches!(graph.op(c).origin, NodeOrigin::SpillStore { .. }))
                     .collect();
                 let mut consumers = tail;
                 consumers.extend(unscheduled);
@@ -408,9 +654,11 @@ impl SchedState<'_, '_> {
             self.graph.add_flow(ld, consumer, reload_value, 0);
         }
         // The spilled value lost consumers and the reload gained them; both
-        // pressure contributions changed shape.
+        // pressure contributions (and structural use lists) changed shape.
         self.pressure.mark_value(cand.value);
         self.pressure.mark_value(reload_value);
+        self.memo.invalidate(cand.value);
+        self.memo.invalidate(reload_value);
         inserted
     }
 

@@ -723,7 +723,14 @@ impl DepGraph {
     /// explicit `delay_override` on the edge wins over all of these.
     #[must_use]
     pub fn edge_latency(&self, e: EdgeId, lat: &LatencyModel) -> i64 {
-        let edge = self.edge(e);
+        self.latency_of(self.edge(e), lat)
+    }
+
+    /// [`DepGraph::edge_latency`] on an already-borrowed edge — the window
+    /// computations scan adjacency lists and hold the edge anyway, so the
+    /// second id lookup is pure waste on the scheduler's hottest path.
+    #[must_use]
+    pub fn latency_of(&self, edge: &DepEdge, lat: &LatencyModel) -> i64 {
         if let Some(d) = edge.delay_override {
             return d;
         }
@@ -954,6 +961,116 @@ impl DepGraph {
                 self.nodes[n.index()] = Some(op);
             }
         }
+    }
+}
+
+/// A stack of nested [`GraphCheckpoint`]s — the checkpoint-*tree* helper
+/// behind branching searches over one transactional graph.
+///
+/// A plain checkpoint is a single mark; exploring several alternatives from
+/// one state (a window of candidate IIs, perturbed retries of the same II)
+/// needs a discipline on top: enter a branch by pushing a checkpoint, try
+/// edits, and either *abandon* the branch (roll the graph back to the mark
+/// and pop it) or *keep* it (pop the mark, folding the branch's edits into
+/// the parent scope). Because every sibling branch starts by abandoning the
+/// previous one, the set of live checkpoints always forms a root-to-leaf
+/// path of the search tree — which is exactly a stack.
+///
+/// The stack never clones the graph; all state restoration is the O(edits)
+/// journal rollback of the transaction layer.
+#[derive(Debug, Default)]
+pub struct CheckpointStack {
+    stack: Vec<GraphCheckpoint>,
+}
+
+impl CheckpointStack {
+    /// Empty stack (depth 0).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of nested checkpoints currently held.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// Whether no checkpoint is held.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.stack.is_empty()
+    }
+
+    /// Enter a branch: mark the current graph state and return the new
+    /// nesting depth (1 for the outermost scope).
+    pub fn push(&mut self, g: &mut DepGraph) -> usize {
+        self.stack.push(g.checkpoint());
+        self.stack.len()
+    }
+
+    /// Abandon the innermost branch: roll the graph back to the most recent
+    /// mark and pop it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stack is empty, or if the underlying
+    /// [`DepGraph::rollback_to`] rejects the checkpoint (committed or
+    /// rolled-back-past transaction).
+    pub fn abandon(&mut self, g: &mut DepGraph) {
+        let cp = self
+            .stack
+            .pop()
+            .expect("abandon on an empty CheckpointStack");
+        g.rollback_to(&cp);
+    }
+
+    /// Roll the graph back to the innermost mark but keep it on the stack,
+    /// so another sibling branch can start from the same state.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`CheckpointStack::abandon`].
+    pub fn rewind(&mut self, g: &mut DepGraph) {
+        let cp = self
+            .stack
+            .last()
+            .expect("rewind on an empty CheckpointStack");
+        g.rollback_to(cp);
+    }
+
+    /// Keep the innermost branch: pop its mark *without* rolling back, so
+    /// the branch's edits belong to the enclosing scope from now on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stack is empty.
+    pub fn keep(&mut self) {
+        self.stack.pop().expect("keep on an empty CheckpointStack");
+    }
+
+    /// Abandon branches until the stack is `depth` deep, rolling the graph
+    /// back through each popped mark (outermost-popped last, so the final
+    /// state is the `depth`-level mark).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` exceeds the current depth.
+    pub fn abandon_to(&mut self, g: &mut DepGraph, depth: usize) {
+        assert!(
+            depth <= self.stack.len(),
+            "abandon_to({depth}) on a stack of depth {}",
+            self.stack.len()
+        );
+        while self.stack.len() > depth {
+            self.abandon(g);
+        }
+    }
+
+    /// Forget every mark without touching the graph (e.g. after the graph
+    /// was committed or handed off).
+    pub fn clear(&mut self) {
+        self.stack.clear();
     }
 }
 
@@ -1325,6 +1442,63 @@ mod tests {
         assert_ne!(g.structural_epoch(), e0);
         g.rollback_to(&cp);
         assert_eq!(g.structural_epoch(), e0);
+    }
+
+    #[test]
+    fn checkpoint_stack_nests_and_abandons_in_order() {
+        let (mut g, a, _b, v) = simple_graph();
+        let base = g.clone();
+        let mut cps = CheckpointStack::new();
+        assert!(cps.is_empty());
+        assert_eq!(cps.push(&mut g), 1);
+        g.op_mut(a).mem_latency = MemLatency::Miss;
+        let after_outer_edit = g.clone();
+        assert_eq!(cps.push(&mut g), 2);
+        let w = g.add_value("w", false);
+        let n = g.add_node(OperationData::new(Opcode::FpAdd, None, vec![v, w]));
+        assert_eq!(cps.push(&mut g), 3);
+        g.remove_node(n);
+        assert_eq!(cps.depth(), 3);
+        // Rewind re-enters the innermost branch without popping it.
+        cps.rewind(&mut g);
+        assert!(g.is_live(n));
+        assert_eq!(cps.depth(), 3);
+        g.remove_node(n);
+        // Abandon the two inner branches, then the outer one.
+        cps.abandon_to(&mut g, 1);
+        assert!(g.same_content(&after_outer_edit));
+        assert_eq!(cps.depth(), 1);
+        cps.abandon(&mut g);
+        assert!(g.same_content(&base));
+        assert!(cps.is_empty());
+    }
+
+    #[test]
+    fn checkpoint_stack_keep_folds_a_branch_into_its_parent() {
+        let (mut g, _a, b, v) = simple_graph();
+        let base = g.clone();
+        let mut cps = CheckpointStack::new();
+        cps.push(&mut g);
+        cps.push(&mut g);
+        let w = g.add_value("w", false);
+        g.replace_src(b, v, w);
+        let with_edit = g.clone();
+        // Keeping the inner branch must not roll anything back...
+        cps.keep();
+        assert_eq!(cps.depth(), 1);
+        assert!(g.same_content(&with_edit));
+        // ...and the kept edits now belong to the outer scope.
+        cps.abandon(&mut g);
+        assert!(g.same_content(&base));
+    }
+
+    #[test]
+    #[should_panic(expected = "abandon_to(3)")]
+    fn checkpoint_stack_rejects_deepening_abandon_to() {
+        let (mut g, _a, _b, _v) = simple_graph();
+        let mut cps = CheckpointStack::new();
+        cps.push(&mut g);
+        cps.abandon_to(&mut g, 3);
     }
 
     #[test]

@@ -60,7 +60,8 @@ pub mod unroll;
 
 pub use builder::LoopBuilder;
 pub use graph::{
-    DepEdge, DepGraph, DepKind, EdgeId, GraphCheckpoint, NodeOrigin, OperationData, ValueData,
+    CheckpointStack, DepEdge, DepGraph, DepKind, EdgeId, GraphCheckpoint, NodeOrigin,
+    OperationData, ValueData,
 };
 pub use ids::{NodeId, ValueId};
 pub use loop_ir::{Loop, MemAccess};

@@ -11,7 +11,9 @@
 //! mix of spill insertion, move insertion/removal, operand rewiring and
 //! payload mutation.
 
-use ddg::{DepEdge, DepGraph, DepKind, EdgeId, NodeId, NodeOrigin, OperationData, ValueId};
+use ddg::{
+    CheckpointStack, DepEdge, DepGraph, DepKind, EdgeId, NodeId, NodeOrigin, OperationData, ValueId,
+};
 use proptest::prelude::*;
 use vliw::{MemLatency, Opcode};
 
@@ -223,6 +225,62 @@ proptest! {
         prop_assert!(g.same_content(&mid), "inner rollback keeps the prefix edits");
         g.rollback_to(&outer);
         prop_assert!(g.same_content(&outer_before), "outer rollback drops everything");
+    }
+
+    /// Branch-and-abandon over a [`CheckpointStack`] at depth ≥ 3, shaped
+    /// exactly like the `Backtracking` search strategy's checkpoint tree:
+    /// a search root, then per candidate-II a group level, then per branch
+    /// an attempt level whose random edits are abandoned — every sibling
+    /// branch must start from the identical group state, every group from
+    /// the identical root state, bit for bit.
+    #[test]
+    fn branch_and_abandon_tree_restores_every_level(
+        groups in proptest::collection::vec(
+            proptest::collection::vec(
+                proptest::collection::vec(0u64..u64::MAX, 1..12), // one attempt branch
+                1..4,                                             // branches per II group
+            ),
+            1..4,                                                 // candidate-II groups
+        ),
+        deep in proptest::collection::vec(0u64..u64::MAX, 1..10),
+    ) {
+        let mut g = seed_graph();
+        let root_state = g.clone();
+        let mut cps = CheckpointStack::new();
+        prop_assert_eq!(cps.push(&mut g), 1); // search root
+        for branches in &groups {
+            prop_assert_eq!(cps.push(&mut g), 2); // candidate-II group
+            let group_state = g.clone();
+            for branch in branches {
+                prop_assert_eq!(cps.push(&mut g), 3); // attempt
+                for &w in branch {
+                    apply_edit(&mut g, w);
+                }
+                // One branch goes deeper still (nested spill exploration),
+                // mirroring rewind-and-retry inside an attempt.
+                prop_assert_eq!(cps.push(&mut g), 4);
+                let mid = g.clone();
+                for &w in &deep {
+                    apply_edit(&mut g, w);
+                }
+                cps.rewind(&mut g);
+                prop_assert!(g.same_content(&mid), "rewind re-enters the inner branch");
+                cps.abandon(&mut g); // drop the inner edits
+                cps.abandon(&mut g); // abandon the attempt
+                prop_assert!(
+                    g.same_content(&group_state),
+                    "every sibling branch starts from the same group state"
+                );
+                prop_assert_eq!(cps.depth(), 2);
+            }
+            cps.abandon(&mut g); // abandon the II group
+            prop_assert!(g.same_content(&root_state));
+        }
+        cps.abandon_to(&mut g, 0);
+        prop_assert!(g.same_content(&root_state));
+        prop_assert_eq!(g.structural_epoch(), root_state.structural_epoch());
+        prop_assert!(cps.is_empty());
+        prop_assert_eq!(g.journal_len(), 0);
     }
 
     /// Rollback → re-edit → rollback converges for any pair of sequences:

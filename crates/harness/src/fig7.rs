@@ -66,11 +66,7 @@ pub fn run_with(exec: &SweepExecutor, wb: &Workbench, hw: &HwModel) -> Fig7 {
                 PrefetchPolicy::HitLatency
             };
             points.push((k, z, prefetching));
-            jobs.push(SweepJob {
-                machine: mc,
-                scheduler: crate::runner::SchedulerKind::MirsC,
-                prefetch: policy,
-            });
+            jobs.push(SweepJob::mirs(mc).with_prefetch(policy));
         }
     }
     let summaries = run_sweep(exec, wb, &jobs);

@@ -30,6 +30,18 @@
 //! test driving 1-, 2- and N-thread sweeps against each other
 //! (`tests/parallel_sweep.rs`), and by the CI matrix running the whole
 //! suite under both `MIRS_JOBS=1` and `MIRS_JOBS=4`.
+//!
+//! # Search-strategy selection
+//!
+//! Every MIRS-C entry point honours the `MIRS_STRATEGY` environment
+//! variable (`linear` — the default paper climb —, `backtrack`,
+//! `perturb`); the `_opts` runner variants
+//! ([`runner::schedule_loop_opts`], [`runner::run_workbench_opts`],
+//! [`runner::time_workbench_opts`]) and [`SweepJob::with_search`] take an
+//! explicit `mirs::SearchConfig` instead, which is how one process
+//! compares several strategies. Strategy exploration is seed-derived and
+//! deterministic, so the parallel-equals-serial guarantee above holds for
+//! every strategy.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -45,7 +57,7 @@ pub mod table2;
 pub mod table3;
 
 pub use runner::{
-    run_sweep, run_workbench, run_workbench_with, LoopOutcome, SchedulerKind, SweepJob,
-    WorkbenchSummary,
+    run_sweep, run_workbench, run_workbench_opts, run_workbench_with, LoopOutcome, SchedulerKind,
+    SweepJob, WorkbenchSummary,
 };
 pub use sweep::{CancelToken, SweepError, SweepExecutor, SweepHooks};

@@ -9,7 +9,9 @@ use crate::sweep::SweepExecutor;
 use baseline::{BaselineOptions, BaselineScheduler};
 use ddg::Loop;
 use loopgen::Workbench;
-use mirs::{MirsScheduler, PrefetchPolicy, SchedScratch, ScheduleResult, SchedulerOptions};
+use mirs::{
+    MirsScheduler, PrefetchPolicy, SchedScratch, ScheduleResult, SchedulerOptions, SearchConfig,
+};
 use serde::{Deserialize, Serialize};
 use vliw::MachineConfig;
 
@@ -63,6 +65,17 @@ impl LoopOutcome {
     #[must_use]
     pub fn converged(&self) -> bool {
         self.ii.is_some()
+    }
+
+    /// Spill operations (stores + loads) of the schedule, 0 when the
+    /// scheduler did not converge — the strategy-comparison metric next
+    /// to the II.
+    #[must_use]
+    pub fn spill_ops(&self) -> u32 {
+        self.result
+            .as_ref()
+            .map(|r| r.stats.spill_stores + r.stats.spill_loads)
+            .unwrap_or(0)
     }
 
     /// Execution cycles under the ideal-memory model (`II × trip + span`).
@@ -138,6 +151,7 @@ impl WorkbenchSummary {
 
 /// Schedule one loop with the chosen scheduler (fresh scratch buffers; the
 /// sweep paths use [`schedule_loop_with`] to reuse a per-worker scratch).
+/// The II-search strategy comes from `MIRS_STRATEGY` (default: linear).
 #[must_use]
 pub fn schedule_loop(
     lp: &Loop,
@@ -161,6 +175,29 @@ pub fn schedule_loop_with(
     kind: SchedulerKind,
     prefetch: PrefetchPolicy,
 ) -> LoopOutcome {
+    schedule_loop_opts(
+        scratch,
+        lp,
+        machine,
+        kind,
+        prefetch,
+        SearchConfig::from_env(),
+    )
+}
+
+/// [`schedule_loop_with`] with an explicit II-search configuration instead
+/// of the `MIRS_STRATEGY` environment default — how the strategy-comparison
+/// tooling runs several strategies in one process. (The baseline scheduler
+/// ignores `search`.)
+#[must_use]
+pub fn schedule_loop_opts(
+    scratch: &mut SchedScratch,
+    lp: &Loop,
+    machine: &MachineConfig,
+    kind: SchedulerKind,
+    prefetch: PrefetchPolicy,
+    search: SearchConfig,
+) -> LoopOutcome {
     let lat = machine.latencies();
     let bounds = ddg::mii::mii(
         &lp.graph,
@@ -171,7 +208,9 @@ pub fn schedule_loop_with(
     let started = std::time::Instant::now();
     let result = match kind {
         SchedulerKind::MirsC => {
-            let opts = SchedulerOptions::default().with_prefetch(prefetch);
+            let opts = SchedulerOptions::default()
+                .with_prefetch(prefetch)
+                .with_search(search);
             MirsScheduler::new(machine, opts)
                 .schedule_with(lp, scratch)
                 .ok()
@@ -303,12 +342,37 @@ pub fn time_workbench_with(
     prefetch: PrefetchPolicy,
     repeats: u32,
 ) -> SchedTimeTrial {
+    time_workbench_opts(
+        exec,
+        wb,
+        machine,
+        kind,
+        prefetch,
+        repeats,
+        SearchConfig::from_env(),
+    )
+}
+
+/// [`time_workbench_with`] with an explicit II-search configuration (the
+/// `_with` flavour reads `MIRS_STRATEGY`) — how `sched_time` compares
+/// strategies within one process.
+#[must_use]
+#[allow(clippy::too_many_arguments)]
+pub fn time_workbench_opts(
+    exec: &SweepExecutor,
+    wb: &Workbench,
+    machine: &MachineConfig,
+    kind: SchedulerKind,
+    prefetch: PrefetchPolicy,
+    repeats: u32,
+    search: SearchConfig,
+) -> SchedTimeTrial {
     let repeats = repeats.max(1) as usize;
     let mut pass_seconds = Vec::with_capacity(repeats);
     let mut wall_seconds = Vec::with_capacity(repeats);
     for _ in 0..repeats {
         let started = std::time::Instant::now();
-        let summary = run_workbench_with(exec, wb, machine, kind, prefetch);
+        let summary = run_workbench_opts(exec, wb, machine, kind, prefetch, search);
         wall_seconds.push(started.elapsed().as_secs_f64());
         pass_seconds.push(summary.total_scheduling_seconds());
     }
@@ -345,8 +409,22 @@ pub fn run_workbench_with(
     kind: SchedulerKind,
     prefetch: PrefetchPolicy,
 ) -> WorkbenchSummary {
+    run_workbench_opts(exec, wb, machine, kind, prefetch, SearchConfig::from_env())
+}
+
+/// [`run_workbench_with`] with an explicit II-search configuration (the
+/// `_with` flavour reads `MIRS_STRATEGY`).
+#[must_use]
+pub fn run_workbench_opts(
+    exec: &SweepExecutor,
+    wb: &Workbench,
+    machine: &MachineConfig,
+    kind: SchedulerKind,
+    prefetch: PrefetchPolicy,
+    search: SearchConfig,
+) -> WorkbenchSummary {
     let outcomes = exec.run_scratch(wb.loops(), SchedScratch::default, |scratch, _, lp| {
-        schedule_loop_with(scratch, lp, machine, kind, prefetch)
+        schedule_loop_opts(scratch, lp, machine, kind, prefetch, search)
     });
     WorkbenchSummary {
         config: machine.name(),
@@ -355,8 +433,9 @@ pub fn run_workbench_with(
     }
 }
 
-/// One (machine, scheduler, prefetch) workbench run of a multi-config
-/// sweep — the unit [`run_sweep`] shards together with the loop dimension.
+/// One (machine, scheduler, prefetch, search) workbench run of a
+/// multi-config sweep — the unit [`run_sweep`] shards together with the
+/// loop dimension.
 #[derive(Debug, Clone)]
 pub struct SweepJob {
     /// Machine configuration to schedule for.
@@ -365,6 +444,9 @@ pub struct SweepJob {
     pub scheduler: SchedulerKind,
     /// Prefetch policy to schedule under.
     pub prefetch: PrefetchPolicy,
+    /// II-search configuration (MIRS-C only; constructors read
+    /// `MIRS_STRATEGY`, override with [`SweepJob::with_search`]).
+    pub search: SearchConfig,
 }
 
 impl SweepJob {
@@ -375,6 +457,7 @@ impl SweepJob {
             machine,
             scheduler: SchedulerKind::MirsC,
             prefetch: PrefetchPolicy::HitLatency,
+            search: SearchConfig::from_env(),
         }
     }
 
@@ -385,7 +468,22 @@ impl SweepJob {
             machine,
             scheduler: SchedulerKind::Baseline,
             prefetch: PrefetchPolicy::HitLatency,
+            search: SearchConfig::from_env(),
         }
+    }
+
+    /// Builder-style override of the II-search configuration.
+    #[must_use]
+    pub fn with_search(mut self, search: SearchConfig) -> Self {
+        self.search = search;
+        self
+    }
+
+    /// Builder-style override of the prefetch policy.
+    #[must_use]
+    pub fn with_prefetch(mut self, prefetch: PrefetchPolicy) -> Self {
+        self.prefetch = prefetch;
+        self
     }
 }
 
@@ -409,12 +507,13 @@ pub fn run_sweep(
         .collect();
     let outcomes = exec.run_scratch(&tasks, SchedScratch::default, |scratch, _, &(j, l)| {
         let job = &sweep_jobs[j];
-        schedule_loop_with(
+        schedule_loop_opts(
             scratch,
             &loops[l],
             &job.machine,
             job.scheduler,
             job.prefetch,
+            job.search,
         )
     });
     let mut remaining = outcomes.into_iter();

@@ -311,10 +311,23 @@ impl SweepExecutor {
     {
         let total = items.len();
         let done = AtomicUsize::new(0);
-        let report = |_idx: usize| {
-            let completed = done.fetch_add(1, Ordering::Relaxed) + 1;
-            if let Some(progress) = hooks.progress {
+        // When a progress hook is installed, the counter increment and the
+        // callback happen under one lock: without it two workers can race
+        // between their `fetch_add` and their call, so the observer sees
+        // `progress(5)` before `progress(4)` — non-monotone output that
+        // looked like chunk-sized jumps under `MIRS_CHUNK > 1`. With the
+        // lock the observed sequence is exactly 1, 2, …, total (one call
+        // per *completed task*, never per claimed chunk). Hook-less sweeps
+        // skip the lock entirely.
+        let progress_lock = std::sync::Mutex::new(());
+        let report = |_idx: usize| match hooks.progress {
+            Some(progress) => {
+                let _serialized = progress_lock.lock().unwrap_or_else(|e| e.into_inner());
+                let completed = done.fetch_add(1, Ordering::Relaxed) + 1;
                 progress(completed, total);
+            }
+            None => {
+                done.fetch_add(1, Ordering::Relaxed);
             }
         };
         let cancelled = || hooks.cancel.is_some_and(CancelToken::is_cancelled);
@@ -618,6 +631,38 @@ mod tests {
         let items: Vec<usize> = (0..32).collect();
         let out = exec.try_run_hooked(&items, |_, &x| x, &hooks);
         assert_eq!(out, Err(SweepError::Cancelled { completed: 0 }));
+    }
+
+    #[test]
+    fn progress_is_monotone_and_exact_for_any_jobs_and_chunk() {
+        // The observed completion sequence must be exactly 1..=total, in
+        // order, for any worker count and claim-chunk size — per completed
+        // *task*, never per claimed chunk, and never out of order (the
+        // regression this pins: two workers racing between the counter
+        // increment and the callback).
+        for jobs in [1usize, 3, 4] {
+            for chunk in [1usize, 2, 8] {
+                let seen = std::sync::Mutex::new(Vec::new());
+                let progress = |completed: usize, total: usize| {
+                    assert_eq!(total, 37);
+                    seen.lock().unwrap().push(completed);
+                };
+                let hooks = SweepHooks {
+                    progress: Some(&progress),
+                    cancel: None,
+                };
+                let items: Vec<usize> = (0..37).collect();
+                let exec = SweepExecutor::new(jobs).with_chunk(chunk);
+                let out = exec.try_run_hooked(&items, |_, &x| x, &hooks).unwrap();
+                assert_eq!(out.len(), 37);
+                let seen = seen.into_inner().unwrap();
+                assert_eq!(
+                    seen,
+                    (1..=37).collect::<Vec<_>>(),
+                    "jobs={jobs} chunk={chunk}: progress must be monotone and exact"
+                );
+            }
+        }
     }
 
     #[test]

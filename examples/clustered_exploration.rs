@@ -2,12 +2,43 @@
 //! cycle time, area and power — the experiment behind Figures 2 and 5.
 //!
 //! Run with: `cargo run --release --example clustered_exploration`
+//!
+//! `--strategy linear|backtrack|perturb` selects the II-search strategy for
+//! every scheduled loop by mapping the flag onto `MIRS_STRATEGY` before the
+//! first scheduler run (the table/fig runners all read that variable).
 
 use harness::{fig2, fig5};
 use loopgen::{Workbench, WorkbenchParams};
 use vliw::HwModel;
 
+/// Map a `--strategy NAME` flag onto the `MIRS_STRATEGY` environment
+/// variable (validated), so every runner downstream picks it up.
+fn apply_strategy_flag() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    let name = loop {
+        match it.next() {
+            Some(a) if a == "--strategy" => break it.next().cloned(),
+            Some(a) => {
+                if let Some(v) = a.strip_prefix("--strategy=") {
+                    break Some(v.to_string());
+                }
+            }
+            None => break None,
+        }
+    };
+    if let Some(name) = name {
+        if mirs::SearchStrategyKind::parse(&name).is_none() {
+            eprintln!("unknown strategy '{name}' (expected linear|backtrack|perturb)");
+            std::process::exit(2);
+        }
+        std::env::set_var(mirs::STRATEGY_ENV, &name);
+        println!("II-search strategy: {name}\n");
+    }
+}
+
 fn main() {
+    apply_strategy_flag();
     let hw = HwModel::default();
     println!("{}", fig2::run(&hw));
 

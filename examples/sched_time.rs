@@ -1,26 +1,32 @@
 //! End-to-end scheduler-throughput probe: times full MIRS-C passes over a
 //! loopgen workbench on the paper's register-constrained configurations,
-//! serial and parallel.
+//! serial and parallel, for one or several II-search strategies.
 //!
-//! This is the workload behind the flat-MRT and parallel-sweep speedup
-//! claims; run it in release mode before and after touching the scheduler's
-//! hot loop or the sweep engine:
+//! This is the workload behind the flat-MRT, parallel-sweep and search-layer
+//! speedup claims; run it in release mode before and after touching the
+//! scheduler's hot loop, the sweep engine or the search strategies:
 //!
 //! ```text
 //! cargo run --release --example sched_time
 //! cargo run --release --example sched_time -- --jobs 4
+//! cargo run --release --example sched_time -- --strategy linear,backtrack,perturb
 //! MIRS_SCHEDTIME_LOOPS=100 MIRS_SCHEDTIME_REPEATS=5 \
 //!     cargo run --release --example sched_time -- --jobs 1
 //! ```
 //!
 //! `--jobs N` (or `MIRS_JOBS=N`) sets the worker count; `--jobs 1` is a
 //! genuinely serial run — the baseline of every speedup number printed in
-//! the last two columns. Schedules are byte-identical for any worker count.
+//! the last two columns. `--strategy a,b,…` selects the II-search
+//! strategies to compare (same names as `MIRS_STRATEGY`: `linear`,
+//! `backtrack`, `perturb`; default: the environment's strategy) and prints
+//! one row per (config, strategy) with the per-strategy ΣII and spill-op
+//! columns next to the timings. Schedules are byte-identical for any
+//! worker count.
 
-use harness::runner::{time_workbench_with, SchedulerKind};
+use harness::runner::{run_workbench_opts, time_workbench_opts, SchedTimeTrial, SchedulerKind};
 use harness::sweep::SweepExecutor;
 use loopgen::{Workbench, WorkbenchParams};
-use mirs::PrefetchPolicy;
+use mirs::{PrefetchPolicy, SearchConfig, SearchStrategyKind};
 use vliw::MachineConfig;
 
 fn env_usize(name: &str, default: usize) -> usize {
@@ -30,28 +36,48 @@ fn env_usize(name: &str, default: usize) -> usize {
         .unwrap_or(default)
 }
 
-/// Value of `--jobs N` (also accepts `--jobs=N`), if present.
-fn jobs_arg() -> Option<usize> {
+/// Value of `--NAME X` (also accepts `--NAME=X`), if present.
+fn flag_arg(name: &str) -> Option<String> {
+    let long = format!("--{name}");
+    let prefixed = format!("--{name}=");
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
     while let Some(a) = it.next() {
-        if a == "--jobs" {
-            return it.next().and_then(|v| v.parse().ok());
+        if a == &long {
+            return it.next().cloned();
         }
-        if let Some(v) = a.strip_prefix("--jobs=") {
-            return v.parse().ok();
+        if let Some(v) = a.strip_prefix(&prefixed) {
+            return Some(v.to_string());
         }
     }
     None
 }
 
+/// The `--strategy` list (comma-separated), defaulting to the strategy the
+/// `MIRS_STRATEGY` environment selects.
+fn strategies() -> Vec<SearchStrategyKind> {
+    match flag_arg("strategy") {
+        Some(list) => list
+            .split(',')
+            .map(|name| {
+                SearchStrategyKind::parse(name).unwrap_or_else(|| {
+                    eprintln!("unknown strategy '{name}' (expected linear|backtrack|perturb)");
+                    std::process::exit(2);
+                })
+            })
+            .collect(),
+        None => vec![SearchConfig::from_env().strategy],
+    }
+}
+
 fn main() {
     let loops = env_usize("MIRS_SCHEDTIME_LOOPS", 60);
     let repeats = env_usize("MIRS_SCHEDTIME_REPEATS", 3) as u32;
-    let exec = match jobs_arg() {
+    let exec = match flag_arg("jobs").and_then(|v| v.parse().ok()) {
         Some(jobs) => SweepExecutor::new(jobs),
         None => SweepExecutor::from_env(),
     };
+    let strategies = strategies();
     let wb = Workbench::generate(&WorkbenchParams {
         loops,
         ..WorkbenchParams::default()
@@ -61,27 +87,74 @@ fn main() {
         exec.jobs()
     );
     println!(
-        "{:<18} {:>12} {:>12} {:>12} {:>14} {:>8}",
-        "config", "sched (s)", "mean (s)", "wall (s)", "loops/s (wall)", "speedup"
+        "{:<18} {:>9} {:>6} {:>9} {:>12} {:>12} {:>12} {:>14} {:>8}",
+        "config",
+        "strategy",
+        "ΣII",
+        "spill-ops",
+        "sched (s)",
+        "mean (s)",
+        "wall (s)",
+        "loops/s (wall)",
+        "speedup"
     );
     for (k, regs) in [(1u32, 64u32), (2, 32), (4, 16)] {
         let machine = MachineConfig::paper_config(k, regs).expect("paper config");
-        let trial = time_workbench_with(
-            &exec,
-            &wb,
-            &machine,
-            SchedulerKind::MirsC,
-            PrefetchPolicy::HitLatency,
-            repeats,
-        );
-        println!(
-            "{:<18} {:>12.4} {:>12.4} {:>12.4} {:>14.1} {:>7.2}x",
-            trial.config,
-            trial.best_seconds(),
-            trial.mean_seconds(),
-            trial.best_wall_seconds(),
-            trial.loops as f64 / trial.best_wall_seconds(),
-            trial.speedup()
-        );
+        for &strategy in &strategies {
+            let search = SearchConfig::for_strategy(strategy);
+            // The metrics pass doubles as one of the timed passes: its
+            // wall clock and aggregate scheduling seconds fold into the
+            // trial below, so the SII/spill columns cost no extra
+            // workbench scheduling.
+            let started = std::time::Instant::now();
+            let summary = run_workbench_opts(
+                &exec,
+                &wb,
+                &machine,
+                SchedulerKind::MirsC,
+                PrefetchPolicy::HitLatency,
+                search,
+            );
+            let metrics_wall = started.elapsed().as_secs_f64();
+            let spill_ops: u64 = summary
+                .outcomes
+                .iter()
+                .map(|o| u64::from(o.spill_ops()))
+                .sum();
+            let mut trial = if repeats > 1 {
+                time_workbench_opts(
+                    &exec,
+                    &wb,
+                    &machine,
+                    SchedulerKind::MirsC,
+                    PrefetchPolicy::HitLatency,
+                    repeats - 1,
+                    search,
+                )
+            } else {
+                SchedTimeTrial {
+                    config: machine.name(),
+                    scheduler: SchedulerKind::MirsC,
+                    loops: wb.loops().len(),
+                    jobs: exec.jobs(),
+                    pass_seconds: Vec::new(),
+                    wall_seconds: Vec::new(),
+                }
+            };
+            trial.pass_seconds.push(summary.total_scheduling_seconds());
+            trial.wall_seconds.push(metrics_wall);
+            println!(
+                "{:<18} {:>9} {:>6} {:>9} {:>12.4} {:>12.4} {:>12.4} {:>14.1} {:>7.2}x",
+                trial.config,
+                strategy.label(),
+                summary.sum_ii(|_| true),
+                spill_ops,
+                trial.best_seconds(),
+                trial.mean_seconds(),
+                trial.best_wall_seconds(),
+                trial.loops as f64 / trial.best_wall_seconds(),
+                trial.speedup()
+            );
+        }
     }
 }
