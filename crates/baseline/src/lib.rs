@@ -2,7 +2,7 @@
 //!
 //! The paper compares MIRS-C against the scheduler of Sánchez & González
 //! (*The effectiveness of loop unrolling for modulo scheduling in clustered
-//! VLIW architectures*, ICPP 2000) — reference [31]. That algorithm
+//! VLIW architectures*, ICPP 2000) — reference \[31\]. That algorithm
 //!
 //! * performs cluster assignment and modulo scheduling without backtracking
 //!   (an operation that cannot be placed forces the whole loop to be
@@ -65,7 +65,7 @@ impl Default for BaselineOptions {
     }
 }
 
-/// The non-iterative scheduler in the style of reference [31].
+/// The non-iterative scheduler in the style of reference \[31\].
 #[derive(Debug, Clone)]
 pub struct BaselineScheduler<'m> {
     machine: &'m MachineConfig,

@@ -64,7 +64,7 @@ mod spill;
 pub use error::ScheduleError;
 pub use options::{
     EjectionPolicy, PrefetchPolicy, SchedulerOptions, SearchConfig, SearchStrategyKind,
-    STRATEGY_ENV,
+    BRANCH_JOBS_ENV, STRATEGY_ENV,
 };
 pub use prefetch::apply_prefetch_policy;
 pub use result::{Placement, ScheduleResult, SchedulerStats, SearchMeta, ValidationError};
@@ -72,6 +72,6 @@ pub use schedule::PartialSchedule;
 pub use scheduler::MirsScheduler;
 pub use scratch::SchedScratch;
 pub use search::{
-    AttemptReport, BacktrackingSearch, LinearSearch, PerturbedRestartSearch, SearchMove,
-    SearchStrategy, SearchView,
+    AttemptReport, BacktrackingSearch, BranchExecutor, InlineBranchExecutor, LinearSearch,
+    PerturbedRestartSearch, SearchMove, SearchStrategy, SearchView,
 };

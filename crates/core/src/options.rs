@@ -38,6 +38,15 @@ pub enum PrefetchPolicy {
 /// [`SchedulerOptions`] always win over the environment.
 pub const STRATEGY_ENV: &str = "MIRS_STRATEGY";
 
+/// Environment variable setting the number of worker threads the
+/// [`SearchStrategyKind::Backtracking`] strategy may fan one candidate-II
+/// branch group across (`0`, `1` or unparsable values keep the serial
+/// in-process search). Branch-parallel execution needs an executor — the
+/// harness entry points install one; plain
+/// [`MirsScheduler::schedule_with`](crate::MirsScheduler::schedule_with)
+/// stays single-threaded regardless of this variable.
+pub const BRANCH_JOBS_ENV: &str = "MIRS_BRANCH_JOBS";
+
 /// Which engine drives the search over candidate IIs.
 ///
 /// The strategy only decides *which* (II, priority-order) attempts are made
@@ -116,6 +125,14 @@ pub struct SearchConfig {
     /// are derived from `(seed, ii, branch index)`, so every run of the
     /// same loop explores the identical tree.
     pub seed: u64,
+    /// Worker threads one candidate-II branch group of
+    /// [`SearchStrategyKind::Backtracking`] may be fanned across (via a
+    /// [`BranchExecutor`](crate::search::BranchExecutor) supplied by the
+    /// caller — the harness wires its sweep pool in). `1` (the default)
+    /// keeps the search serial and in-process. Results are byte-identical
+    /// for every value: branch attempts are independent by construction and
+    /// the merge is in deterministic attempt order.
+    pub branch_jobs: u32,
 }
 
 impl Default for SearchConfig {
@@ -126,6 +143,7 @@ impl Default for SearchConfig {
             ii_window: 1,
             retries: 2,
             seed: 0x5eed_1e55_c0de_2026,
+            branch_jobs: 1,
         }
     }
 }
@@ -186,22 +204,38 @@ impl SearchConfig {
         self
     }
 
-    /// Configuration selected by the `MIRS_STRATEGY` environment variable
-    /// (default parameters for the named strategy; [`SearchConfig::default`]
-    /// when unset or unparsable).
+    /// Builder-style setter for the branch-group worker count (clamped to
+    /// at least 1).
+    #[must_use]
+    pub fn with_branch_jobs(mut self, jobs: u32) -> Self {
+        self.branch_jobs = jobs.max(1);
+        self
+    }
+
+    /// Configuration selected by the `MIRS_STRATEGY` and `MIRS_BRANCH_JOBS`
+    /// environment variables (default parameters for the named strategy;
+    /// [`SearchConfig::default`] when unset or unparsable).
     ///
-    /// The variable is read once per process — sweeps consult this per
+    /// The variables are read once per process — sweeps consult this per
     /// scheduled loop and `std::env::var` takes a lock.
     #[must_use]
     pub fn from_env() -> Self {
         static KIND: std::sync::OnceLock<SearchStrategyKind> = std::sync::OnceLock::new();
+        static BRANCH_JOBS: std::sync::OnceLock<u32> = std::sync::OnceLock::new();
         let kind = *KIND.get_or_init(|| {
             std::env::var(STRATEGY_ENV)
                 .ok()
                 .and_then(|v| SearchStrategyKind::parse(&v))
                 .unwrap_or_default()
         });
-        Self::for_strategy(kind)
+        let branch_jobs = *BRANCH_JOBS.get_or_init(|| {
+            std::env::var(BRANCH_JOBS_ENV)
+                .ok()
+                .and_then(|v| v.parse::<u32>().ok())
+                .filter(|&j| j > 0)
+                .unwrap_or(1)
+        });
+        Self::for_strategy(kind).with_branch_jobs(branch_jobs)
     }
 }
 
@@ -375,12 +409,16 @@ mod tests {
             .with_branches(5)
             .with_ii_window(0)
             .with_retries(7)
-            .with_seed(42);
+            .with_seed(42)
+            .with_branch_jobs(0);
         assert_eq!(cfg.strategy, SearchStrategyKind::Backtracking);
         assert_eq!(cfg.branches, 5);
         assert_eq!(cfg.ii_window, 1, "window clamps to at least 1");
         assert_eq!(cfg.retries, 7);
         assert_eq!(cfg.seed, 42);
+        assert_eq!(cfg.branch_jobs, 1, "branch jobs clamp to at least 1");
+        assert_eq!(cfg.with_branch_jobs(4).branch_jobs, 4);
+        assert_eq!(SearchConfig::default().branch_jobs, 1);
         let o = SchedulerOptions::default().with_strategy(SearchStrategyKind::PerturbedRestart);
         assert_eq!(o.search, SearchConfig::perturbed());
         let o = SchedulerOptions::default().with_search(cfg);

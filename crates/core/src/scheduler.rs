@@ -15,7 +15,7 @@ use crate::priority::PriorityList;
 use crate::result::{Placement, ScheduleResult, SchedulerStats, SearchMeta};
 use crate::schedule::PartialSchedule;
 use crate::scratch::SchedScratch;
-use crate::search::SearchDriver;
+use crate::search::{BranchExecutor, InlineBranchExecutor, SearchDriver};
 use crate::spill::SpillMemo;
 use ddg::collections::HashMap;
 use ddg::{DepGraph, Loop, NodeId};
@@ -179,7 +179,7 @@ impl<'m> MirsScheduler<'m> {
     /// [`MirsScheduler::schedule`] for any reuse pattern.
     ///
     /// Internally one working graph is cloned from `lp` per call and handed
-    /// to a [`SearchDriver`]; every II attempt mutates it inside a
+    /// to a `SearchDriver`; every II attempt mutates it inside a
     /// [`DepGraph`] transaction and rolls back on restart, so the default
     /// linear search performs **zero** further graph clones (branching
     /// strategies clone once per stashed candidate). In debug builds (or
@@ -194,12 +194,43 @@ impl<'m> MirsScheduler<'m> {
         lp: &Loop,
         scratch: &mut SchedScratch,
     ) -> Result<ScheduleResult, ScheduleError> {
+        self.schedule_with_exec(lp, scratch, &InlineBranchExecutor)
+    }
+
+    /// [`MirsScheduler::schedule_with`] with a caller-supplied
+    /// [`BranchExecutor`] for the branch-parallel search path.
+    ///
+    /// When the options select
+    /// [`SearchStrategyKind::Backtracking`](crate::SearchStrategyKind::Backtracking) with
+    /// [`SearchConfig::branch_jobs`](crate::SearchConfig::branch_jobs)` > 1`,
+    /// the independent attempts of each candidate-II branch group are
+    /// fanned across `exec` (each on a private graph clone and scratch) and
+    /// merged in deterministic attempt order — the accepted schedule is
+    /// byte-identical to the serial search for any executor. Every other
+    /// configuration ignores `exec` and runs the incremental
+    /// single-threaded search: `Linear` and `PerturbedRestart` react to
+    /// each attempt's outcome before choosing the next, so they have no
+    /// independent branch set to fan out.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`MirsScheduler::schedule`].
+    pub fn schedule_with_exec(
+        &self,
+        lp: &Loop,
+        scratch: &mut SchedScratch,
+        exec: &dyn BranchExecutor,
+    ) -> Result<ScheduleResult, ScheduleError> {
         if lp.graph.node_count() == 0 {
             return Err(ScheduleError::EmptyLoop {
                 loop_name: lp.name.clone(),
             });
         }
-        let mut strategy = self.opts.search.strategy_impl();
+        let search = &self.opts.search;
+        if search.strategy == crate::SearchStrategyKind::Backtracking && search.branch_jobs > 1 {
+            return SearchDriver::new(self, lp, scratch).run_branch_parallel(exec);
+        }
+        let mut strategy = search.strategy_impl();
         SearchDriver::new(self, lp, scratch).run(strategy.as_dyn())
     }
 

@@ -764,6 +764,31 @@ impl DepGraph {
     ///
     /// Checkpoints nest freely: each call just marks a position in the
     /// journal.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use ddg::{DepGraph, OperationData};
+    /// use vliw::Opcode;
+    ///
+    /// let mut g = DepGraph::new();
+    /// let x = g.add_value("x", false);
+    /// let load = g.add_node(OperationData::new(Opcode::Load, Some(x), vec![]));
+    ///
+    /// let before = g.clone();
+    /// let cp = g.checkpoint();
+    ///
+    /// // Speculative edit: spill the loaded value, then think better of it.
+    /// let slot = g.add_value("x.spill", false);
+    /// g.add_node(OperationData::new(Opcode::SpillStore, Some(slot), vec![x]));
+    /// g.remove_node(load);
+    /// assert!(!g.same_content(&before));
+    ///
+    /// g.rollback_to(&cp);
+    /// assert!(g.same_content(&before)); // bit-identical, not just equivalent
+    /// assert!(g.is_live(load));
+    /// g.commit();
+    /// ```
     pub fn checkpoint(&mut self) -> GraphCheckpoint {
         self.journaling = true;
         GraphCheckpoint {

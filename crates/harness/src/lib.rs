@@ -3,7 +3,7 @@
 //!
 //! Each experiment module runs the workbench (crate `loopgen`) through the
 //! MIRS-C scheduler (crate `mirs`) and, where the paper compares against the
-//! non-iterative scheduler of reference [31], through the baseline
+//! non-iterative scheduler of reference \[31\], through the baseline
 //! scheduler (crate `baseline`). The modules return plain data structures
 //! and implement [`std::fmt::Display`] so the bench harness, the examples
 //! and the command-line runners can print tables shaped like the paper's.
@@ -11,8 +11,8 @@
 //! | Paper artefact | Module |
 //! |---|---|
 //! | Figure 2 (cycle time / area / power)            | [`fig2`] |
-//! | Table 1 (unbounded registers, [31] vs MIRS-C)   | [`table1`] |
-//! | Table 2 (64 registers total, [31] vs MIRS-C)    | [`table2`] |
+//! | Table 1 (unbounded registers, \[31\] vs MIRS-C)   | [`table1`] |
+//! | Table 2 (64 registers total, \[31\] vs MIRS-C)    | [`table2`] |
 //! | Table 3 (scheduling time)                       | [`table3`] |
 //! | Figure 5 (ideal memory design-space sweep)      | [`fig5`] |
 //! | Figure 6 (scalability with clusters and buses)  | [`fig6`] |
@@ -42,6 +42,13 @@
 //! compares several strategies. Strategy exploration is seed-derived and
 //! deterministic, so the parallel-equals-serial guarantee above holds for
 //! every strategy.
+//!
+//! The `backtrack` strategy can additionally fan the independent attempts
+//! of each candidate-II branch group across a nested [`sweep::BranchPool`]
+//! (`MIRS_BRANCH_JOBS` workers, default 1). Branch outcomes are merged in
+//! deterministic attempt order, so schedules stay byte-identical to the
+//! serial search for any `MIRS_JOBS` × `MIRS_BRANCH_JOBS` combination;
+//! nested pools clamp themselves to the cores the outer sweep leaves free.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -60,4 +67,4 @@ pub use runner::{
     run_sweep, run_workbench, run_workbench_opts, run_workbench_with, LoopOutcome, SchedulerKind,
     SweepJob, WorkbenchSummary,
 };
-pub use sweep::{CancelToken, SweepError, SweepExecutor, SweepHooks};
+pub use sweep::{BranchPool, CancelToken, SweepError, SweepExecutor, SweepHooks};

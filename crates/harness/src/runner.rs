@@ -5,7 +5,7 @@
 //! (crate::sweep): loops are independent tasks, outcomes are collected by
 //! loop index, and a parallel run is byte-identical to a serial one.
 
-use crate::sweep::SweepExecutor;
+use crate::sweep::{BranchPool, SweepExecutor};
 use baseline::{BaselineOptions, BaselineScheduler};
 use ddg::Loop;
 use loopgen::Workbench;
@@ -20,7 +20,7 @@ use vliw::MachineConfig;
 pub enum SchedulerKind {
     /// MIRS-C: iterative, with integrated spilling and cluster assignment.
     MirsC,
-    /// Non-iterative baseline in the style of reference [31].
+    /// Non-iterative baseline in the style of reference \[31\].
     Baseline,
 }
 
@@ -151,7 +151,9 @@ impl WorkbenchSummary {
 
 /// Schedule one loop with the chosen scheduler (fresh scratch buffers; the
 /// sweep paths use [`schedule_loop_with`] to reuse a per-worker scratch).
-/// The II-search strategy comes from `MIRS_STRATEGY` (default: linear).
+/// The II-search strategy comes from `MIRS_STRATEGY` (default: linear) and
+/// its branch-group fan-out width from `MIRS_BRANCH_JOBS` (default: 1,
+/// serial).
 #[must_use]
 pub fn schedule_loop(
     lp: &Loop,
@@ -211,9 +213,14 @@ pub fn schedule_loop_opts(
             let opts = SchedulerOptions::default()
                 .with_prefetch(prefetch)
                 .with_search(search);
-            MirsScheduler::new(machine, opts)
-                .schedule_with(lp, scratch)
-                .ok()
+            let sched = MirsScheduler::new(machine, opts);
+            // Branch-parallel Backtracking fans each candidate-II group
+            // across a sub-pool; outcomes are byte-identical to the serial
+            // search, so this only changes wall-clock time.
+            match BranchPool::for_search(&search) {
+                Some(pool) => sched.schedule_with_exec(lp, scratch, &pool).ok(),
+                None => sched.schedule_with(lp, scratch).ok(),
+            }
         }
         SchedulerKind::Baseline => {
             let opts = BaselineOptions {
@@ -461,7 +468,7 @@ impl SweepJob {
         }
     }
 
-    /// The baseline scheduler [31] under hit latency on `machine`.
+    /// The baseline scheduler \[31\] under hit latency on `machine`.
     #[must_use]
     pub fn baseline(machine: MachineConfig) -> Self {
         Self {

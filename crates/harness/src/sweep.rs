@@ -30,7 +30,7 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Environment variable overriding the worker count (`0` or unparsable
 /// values fall back to the default).
@@ -42,6 +42,63 @@ pub const CHUNK_ENV: &str = "MIRS_CHUNK";
 
 /// Default number of consecutive tasks one atomic claim hands a worker.
 pub const DEFAULT_CHUNK: usize = 8;
+
+thread_local! {
+    /// Marks threads spawned by a pooled sweep, so a sweep started *from*
+    /// such a thread (e.g. a [`BranchPool`] fanning search branches out of
+    /// a loop that is itself a sweep task) knows it is nested.
+    static IN_SWEEP_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Worker threads currently spawned by pooled sweeps, process-wide. Feeds
+/// the nested-sweep oversubscription guard below.
+static ACTIVE_WORKERS: AtomicUsize = AtomicUsize::new(0);
+
+/// Registers `count` pooled workers for the duration of a sweep; the
+/// `Drop` keeps the gauge honest even if the sweep unwinds.
+struct ActiveWorkersGuard(usize);
+
+impl ActiveWorkersGuard {
+    fn register(count: usize) -> Self {
+        ACTIVE_WORKERS.fetch_add(count, Ordering::Relaxed);
+        Self(count)
+    }
+}
+
+impl Drop for ActiveWorkersGuard {
+    fn drop(&mut self) {
+        ACTIVE_WORKERS.fetch_sub(self.0, Ordering::Relaxed);
+    }
+}
+
+/// Worker budget for a sweep that may be nested inside another sweep's
+/// worker thread.
+///
+/// `SweepExecutor` spawns fresh scoped threads per run rather than sharing
+/// a fixed pool, so a nested sweep can never *deadlock* a saturated outer
+/// pool — submitting from a worker always makes progress. What nesting
+/// *can* do is oversubscribe the machine: an 8-worker outer sweep whose
+/// every task opens a 4-worker branch pool would ask for 32 threads on a
+/// handful of cores. This clamps a **nested** run to the cores not already
+/// claimed by pooled workers (counting the calling worker's own core as
+/// free — it blocks until the nested sweep finishes), degrading to an
+/// inline run when the outer sweep has the machine saturated. Top-level
+/// sweeps are never clamped: an explicit `SweepExecutor::new(8)` keeps its
+/// 8 workers, oversubscribed or not, so scaling benchmarks measure what
+/// they configure. Results are byte-identical for every worker count, so
+/// the clamp is invisible outside of wall-clock time.
+fn nested_worker_budget(requested: usize) -> usize {
+    if requested <= 1 || !IN_SWEEP_WORKER.with(std::cell::Cell::get) {
+        return requested;
+    }
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let free = cores
+        .saturating_sub(ACTIVE_WORKERS.load(Ordering::Relaxed))
+        .saturating_add(1);
+    requested.min(free.max(1))
+}
 
 /// Why a sweep did not produce a full result vector.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -108,6 +165,14 @@ impl CancelToken {
 #[derive(Default)]
 pub struct SweepHooks<'h> {
     /// Called after each completed task with `(completed_so_far, total)`.
+    ///
+    /// Callbacks are **serialized** (an internal lock couples the
+    /// completion-counter increment with the call), so an installed hook
+    /// observes exactly `1, 2, …, total` in order — never a gap, never a
+    /// reordering — for any worker count and claim-chunk size; debug
+    /// builds assert this. The serializing lock is taken **only when a
+    /// hook is installed**: hook-less sweeps pay a single relaxed atomic
+    /// increment per task and are never throttled by the guarantee.
     pub progress: Option<&'h (dyn Fn(usize, usize) + Sync)>,
     /// Checked by every worker before claiming the next task.
     pub cancel: Option<&'h CancelToken>,
@@ -311,19 +376,31 @@ impl SweepExecutor {
     {
         let total = items.len();
         let done = AtomicUsize::new(0);
-        // When a progress hook is installed, the counter increment and the
-        // callback happen under one lock: without it two workers can race
-        // between their `fetch_add` and their call, so the observer sees
+        // Progress-hook contract: with a hook installed, the counter
+        // increment and the callback happen under one lock, so callbacks
+        // are fully serialized and the observed sequence is exactly
+        // 1, 2, …, total (one call per *completed task*, never per claimed
+        // chunk). Without the lock two workers could race between their
+        // `fetch_add` and their call, and the observer would see
         // `progress(5)` before `progress(4)` — non-monotone output that
-        // looked like chunk-sized jumps under `MIRS_CHUNK > 1`. With the
-        // lock the observed sequence is exactly 1, 2, …, total (one call
-        // per *completed task*, never per claimed chunk). Hook-less sweeps
-        // skip the lock entirely.
-        let progress_lock = std::sync::Mutex::new(());
+        // looked like chunk-sized jumps under `MIRS_CHUNK > 1`. The lock
+        // exists **only for the hook**: hook-less sweeps skip it entirely
+        // and pay one relaxed `fetch_add` per task, so the serialization
+        // guarantee — and its cost — apply exclusively to runs that
+        // install `SweepHooks::progress`. Debug builds assert the
+        // monotonicity on the hook path.
+        let progress_lock = Mutex::new(());
+        let last_reported = AtomicUsize::new(0);
         let report = |_idx: usize| match hooks.progress {
             Some(progress) => {
                 let _serialized = progress_lock.lock().unwrap_or_else(|e| e.into_inner());
                 let completed = done.fetch_add(1, Ordering::Relaxed) + 1;
+                let previous = last_reported.swap(completed, Ordering::Relaxed);
+                debug_assert_eq!(
+                    completed,
+                    previous + 1,
+                    "progress callbacks must observe exactly 1, 2, …, total"
+                );
                 progress(completed, total);
             }
             None => {
@@ -332,7 +409,10 @@ impl SweepExecutor {
         };
         let cancelled = || hooks.cancel.is_some_and(CancelToken::is_cancelled);
 
-        let workers = self.jobs.min(total);
+        // A sweep launched from inside another sweep's worker (nested
+        // branch pools) is clamped to the cores not already running pooled
+        // workers; top-level sweeps keep their configured width.
+        let workers = nested_worker_budget(self.jobs.min(total));
         if workers <= 1 {
             // Inline fast path: `--jobs 1` is a genuinely serial run (the
             // baseline of every speedup claim), not a one-thread pool. The
@@ -374,10 +454,12 @@ impl SweepExecutor {
         let next = AtomicUsize::new(0);
         let task_ref = &task;
         let init_ref = &init;
+        let _active = ActiveWorkersGuard::register(workers);
         let parts: Vec<WorkerPart<T>> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
                     scope.spawn(|| {
+                        IN_SWEEP_WORKER.with(|flag| flag.set(true));
                         let mut scratch = init_ref();
                         let mut local: Vec<(usize, T)> = Vec::new();
                         let mut lost: Vec<usize> = Vec::new();
@@ -480,6 +562,89 @@ struct WorkerLoss<T> {
 /// One worker's contribution to a sweep: index-tagged results, or a
 /// [`WorkerLoss`] when any of its tasks panicked.
 type WorkerPart<T> = Result<Vec<(usize, T)>, WorkerLoss<T>>;
+
+/// A [`mirs::BranchExecutor`] backed by a private [`SweepExecutor`]: fans
+/// the independent attempts of one `Backtracking` candidate-II branch
+/// group across `MIRS_BRANCH_JOBS` workers.
+///
+/// This is the harness's bridge between the in-loop search and the sweep
+/// engine. Scheduling outcomes are byte-identical to the serial search —
+/// the core driver merges branch results in deterministic attempt order —
+/// so the pool only changes wall-clock time. [`SchedScratch`](mirs::SchedScratch)es are pooled
+/// across branch groups (and across the loops of one
+/// [`runner::schedule_loop_opts`](crate::runner::schedule_loop_opts) call
+/// chain) behind a mutex, so repeated groups reuse warmed allocations
+/// instead of re-allocating per branch.
+///
+/// Branch groups are small bags (typically 3 tasks), so the pool claims
+/// one branch per atomic fetch (`chunk = 1`). When the pool is opened
+/// *inside* an outer sweep's worker — the nested case — an
+/// oversubscription guard clamps its width to the cores the outer
+/// sweep left free, degrading to a serial in-thread run on a saturated
+/// machine: no deadlock is possible either way (every run spawns fresh
+/// scoped threads), the clamp only prevents oversubscription.
+pub struct BranchPool {
+    exec: SweepExecutor,
+    scratches: Mutex<Vec<mirs::SchedScratch>>,
+}
+
+impl BranchPool {
+    /// Pool with exactly `jobs` branch workers (clamped to at least 1).
+    #[must_use]
+    pub fn new(jobs: usize) -> Self {
+        Self {
+            exec: SweepExecutor::new(jobs).with_chunk(1),
+            scratches: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Pool for a search configuration, or `None` when the configuration
+    /// has no branch-parallel work to fan out (non-`Backtracking`
+    /// strategies, or `branch_jobs <= 1` — those run the serial in-process
+    /// search).
+    #[must_use]
+    pub fn for_search(search: &mirs::SearchConfig) -> Option<Self> {
+        (search.strategy == mirs::SearchStrategyKind::Backtracking && search.branch_jobs > 1)
+            .then(|| Self::new(search.branch_jobs as usize))
+    }
+
+    /// Configured branch-worker count.
+    #[must_use]
+    pub fn jobs(&self) -> usize {
+        self.exec.jobs()
+    }
+
+    fn pop_scratch(&self) -> mirs::SchedScratch {
+        self.scratches
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .pop()
+            .unwrap_or_default()
+    }
+
+    fn push_scratch(&self, scratch: mirs::SchedScratch) {
+        self.scratches
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(scratch);
+    }
+}
+
+impl mirs::BranchExecutor for BranchPool {
+    fn run_branches(&self, branches: usize, job: &(dyn Fn(usize, &mut mirs::SchedScratch) + Sync)) {
+        let indices: Vec<usize> = (0..branches).collect();
+        self.exec.run(&indices, |_, &branch| {
+            // Pop/push around each branch rather than per-worker `init`
+            // state, so the scratches survive the pool's scoped threads
+            // and warm the next group. Which scratch a branch gets is
+            // interleaving-dependent — fine, because scheduling outcomes
+            // never depend on scratch history (the sweep-wide contract).
+            let mut scratch = self.pop_scratch();
+            job(branch, &mut scratch);
+            self.push_scratch(scratch);
+        });
+    }
+}
 
 #[cfg(test)]
 mod tests {

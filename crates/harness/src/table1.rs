@@ -1,4 +1,4 @@
-//! Table 1: ΣII and Σtrf of the baseline [31] vs MIRS-C with an unbounded
+//! Table 1: ΣII and Σtrf of the baseline \[31\] vs MIRS-C with an unbounded
 //! number of registers per cluster, for k ∈ {1,2,4} and λm ∈ {1,3}.
 
 use crate::runner::{run_sweep, SweepJob, WorkbenchSummary};

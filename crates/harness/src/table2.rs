@@ -1,4 +1,4 @@
-//! Table 2: ΣII and Σtrf of the baseline [31] vs MIRS-C when the total
+//! Table 2: ΣII and Σtrf of the baseline \[31\] vs MIRS-C when the total
 //! number of registers is constrained to k × z = 64, plus the number of
 //! loops for which the baseline does not converge.
 

@@ -1,4 +1,4 @@
-//! Table 3: scheduling (compile) time of the baseline [31] vs MIRS-C for
+//! Table 3: scheduling (compile) time of the baseline \[31\] vs MIRS-C for
 //! several unbounded and register-constrained configurations.
 
 use crate::runner::{run_sweep, SweepJob};

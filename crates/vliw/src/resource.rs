@@ -105,6 +105,21 @@ impl ResourceKind {
 /// ```text
 /// index = 4·cluster + {0 gp, 1 mem, 2 out, 3 in}      index = 4·k  (bus)
 /// ```
+///
+/// # Example
+///
+/// ```
+/// use vliw::{ClusterId, ResourceIndexer, ResourceKind};
+///
+/// let ix = ResourceIndexer::new(2);
+/// assert_eq!(ix.len(), 4 * 2 + 1);
+///
+/// let mem1 = ResourceKind::MemPort { cluster: ClusterId(1) };
+/// let idx = ix.index_of(mem1);
+/// assert_eq!(idx, 5);
+/// assert_eq!(ix.kind_at(idx), mem1); // kind_at inverts index_of
+/// assert_eq!(ix.index_of(ResourceKind::Bus), ix.len() - 1);
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ResourceIndexer {
     clusters: u16,

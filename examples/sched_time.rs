@@ -101,7 +101,11 @@ fn main() {
     for (k, regs) in [(1u32, 64u32), (2, 32), (4, 16)] {
         let machine = MachineConfig::paper_config(k, regs).expect("paper config");
         for &strategy in &strategies {
-            let search = SearchConfig::for_strategy(strategy);
+            // Keep the environment's MIRS_BRANCH_JOBS even when --strategy
+            // overrides the strategy list, so audit runs can drive the
+            // branch-parallel backtracking path through this example.
+            let search = SearchConfig::for_strategy(strategy)
+                .with_branch_jobs(SearchConfig::from_env().branch_jobs);
             // The metrics pass doubles as one of the timed passes: its
             // wall clock and aggregate scheduling seconds fold into the
             // trial below, so the SII/spill columns cost no extra

@@ -4,10 +4,10 @@
 //! `tests/` and the runnable examples under `examples/`; the actual
 //! implementation lives in the `crates/` members:
 //!
-//! * [`vliw`] — clustered VLIW machine model and hardware cost model.
-//! * [`ddg`] — loop IR, data-dependence graphs, MII bounds, HRMS ordering.
-//! * [`mirs`] — the MIRS-C iterative modulo scheduler itself.
-//! * [`baseline`] — the non-iterative comparison scheduler (ref. [31]).
-//! * [`loopgen`] — synthetic workbench standing in for the Perfect Club loops.
-//! * [`memsim`] — lockup-free cache and execution model.
-//! * [`harness`] — drivers reproducing every paper table and figure.
+//! * `vliw` — clustered VLIW machine model and hardware cost model.
+//! * `ddg` — loop IR, data-dependence graphs, MII bounds, HRMS ordering.
+//! * `mirs` — the MIRS-C iterative modulo scheduler itself.
+//! * `baseline` — the non-iterative comparison scheduler (ref. \[31\]).
+//! * `loopgen` — synthetic workbench standing in for the Perfect Club loops.
+//! * `memsim` — lockup-free cache and execution model.
+//! * `harness` — drivers reproducing every paper table and figure.

@@ -96,7 +96,7 @@ pub mod collection {
 }
 
 pub mod test_runner {
-    //! Case-count configuration and the runner loop used by [`proptest!`].
+    //! Case-count configuration and the runner loop used by [`proptest!`](crate::proptest).
 
     use rand::rngs::StdRng;
     use rand::SeedableRng;
