@@ -59,6 +59,7 @@ mod scheduler;
 mod scratch;
 pub mod search;
 mod slots;
+pub mod snap;
 mod spill;
 
 pub use error::ScheduleError;

@@ -1,10 +1,8 @@
 //! Tunable parameters of the MIRS-C scheduler.
 
-use serde::{Deserialize, Serialize};
-
 /// How many conflicting operations are ejected when a node is forced into a
 /// cycle that has no free slot.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EjectionPolicy {
     /// Eject a single conflicting operation — the one that was placed in the
     /// partial schedule first (the MIRS-C choice).
@@ -15,7 +13,7 @@ pub enum EjectionPolicy {
 }
 
 /// How memory load latencies are assumed during scheduling.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum PrefetchPolicy {
     /// Every load is scheduled with the cache *hit* latency; the processor
     /// stalls on misses (the paper's "Normal" configuration).
@@ -54,7 +52,7 @@ pub const BRANCH_JOBS_ENV: &str = "MIRS_BRANCH_JOBS";
 /// the unchanged MIRS-C inner loop. [`SearchStrategyKind::Linear`] is the
 /// paper's monotonic climb and the default — it is bit-identical to the
 /// pre-search-layer scheduler (the golden schedule-hash tests pin this).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum SearchStrategyKind {
     /// Monotonic `fail → II+1` climb; accept the first feasible II.
     #[default]
@@ -104,7 +102,7 @@ impl std::fmt::Display for SearchStrategyKind {
 
 /// Parameters of the II search performed by the
 /// [`SearchDriver`](crate::search) layer.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SearchConfig {
     /// Strategy deciding the sequence of (II, priority-order) attempts.
     pub strategy: SearchStrategyKind,
@@ -244,7 +242,7 @@ impl SearchConfig {
 /// Defaults follow the values used in the paper: a budget ratio of 6
 /// attempts per node, spill gauge `SG = 2`, minimum span gauge `MSG = 4`
 /// and distance gauge `DG = 4`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SchedulerOptions {
     /// Scheduling attempts allowed per node in the graph before the II is
     /// increased (the *BudgetRatio*).

@@ -2,12 +2,11 @@
 
 use ddg::collections::HashMap;
 use ddg::{DepGraph, NodeId};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use vliw::{ClusterId, MachineConfig, ResourceKind};
 
 /// Final placement of one operation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Placement {
     /// Issue cycle relative to the start of the kernel iteration
     /// (normalized so the earliest operation issues at cycle 0).
@@ -17,7 +16,7 @@ pub struct Placement {
 }
 
 /// Counters describing the work the scheduler performed.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct SchedulerStats {
     /// Nodes picked from the priority list (including re-scheduling after
     /// ejection).
@@ -53,7 +52,7 @@ pub struct SchedulerStats {
 /// [`SearchMeta::branch_critical_seconds`]): they are diagnostics, not part
 /// of the search outcome, and the cross-`MIRS_BRANCH_JOBS` identity tests
 /// compare `SearchMeta` values wholesale.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct SearchMeta {
     /// Strategy that drove the search.
     pub strategy: crate::SearchStrategyKind,
@@ -100,7 +99,7 @@ impl Eq for SearchMeta {}
 /// move operation the scheduler inserted, which downstream consumers (the
 /// memory simulator, code emitters, the benchmark harness) need alongside
 /// the placements.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ScheduleResult {
     /// Name of the scheduled loop.
     pub loop_name: String,

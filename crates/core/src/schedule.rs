@@ -10,11 +10,10 @@
 
 use ddg::collections::HashMap;
 use ddg::NodeId;
-use serde::{Deserialize, Serialize};
 use vliw::{ClusterId, MachineConfig, ReservationTable, ResourceIndexer, ResourceKind};
 
 /// Placement of one node in the partial schedule.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub(crate) struct PlacementInfo {
     /// Absolute issue cycle (may be negative before normalization).
     pub cycle: i64,
@@ -36,7 +35,7 @@ pub(crate) struct PlacementInfo {
 /// shared buses are all tracked uniformly through [`ResourceKind`] mapped to
 /// dense indices by the machine's [`ResourceIndexer`]. Capacities are cached
 /// at construction, so probes never touch the machine configuration.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PartialSchedule {
     ii: u32,
     indexer: ResourceIndexer,

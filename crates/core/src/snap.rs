@@ -1,0 +1,311 @@
+//! Snapshot codec for schedule results (`MRES` blobs).
+//!
+//! Builds on [`vliw::snap`] and [`ddg::snap`] to serialise a complete
+//! [`ScheduleResult`] — final graph, placements, register requirements,
+//! scheduler counters and search metadata. A decoded result reproduces the
+//! original's [`ScheduleResult::schedule_hash`] exactly, which is what lets
+//! the persistent schedule cache (`harness::cache`) verify an entry's
+//! integrity end to end.
+//!
+//! The placement map is serialised as a `(node, placement)` list sorted by
+//! node id — a canonical order, so encoding the same result twice yields
+//! byte-identical blobs regardless of hash-map iteration order.
+
+use crate::options::{SearchConfig, SearchStrategyKind};
+use crate::result::{Placement, ScheduleResult, SchedulerStats, SearchMeta};
+use ddg::collections::HashMap;
+use ddg::{DepGraph, NodeId};
+use vliw::snap::{
+    decode_blob, encode_blob, SnapDecode, SnapEncode, SnapError, SnapReader, SnapWriter,
+};
+use vliw::ClusterId;
+
+/// Envelope magic for [`ScheduleResult`] snapshots.
+pub const RESULT_MAGIC: [u8; 4] = *b"MRES";
+
+impl SnapEncode for SearchStrategyKind {
+    fn encode_snap(&self, w: &mut SnapWriter) {
+        w.put_u8(match self {
+            SearchStrategyKind::Linear => 0,
+            SearchStrategyKind::Backtracking => 1,
+            SearchStrategyKind::PerturbedRestart => 2,
+        });
+    }
+}
+
+impl SnapDecode for SearchStrategyKind {
+    fn decode_snap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(match r.get_u8()? {
+            0 => SearchStrategyKind::Linear,
+            1 => SearchStrategyKind::Backtracking,
+            2 => SearchStrategyKind::PerturbedRestart,
+            _ => return Err(SnapError::Malformed("unknown search-strategy tag")),
+        })
+    }
+}
+
+impl SnapEncode for SearchConfig {
+    fn encode_snap(&self, w: &mut SnapWriter) {
+        self.strategy.encode_snap(w);
+        w.put_u32(self.branches);
+        w.put_u32(self.ii_window);
+        w.put_u32(self.retries);
+        w.put_u64(self.seed);
+        w.put_u32(self.branch_jobs);
+    }
+}
+
+impl SnapDecode for SearchConfig {
+    fn decode_snap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(SearchConfig {
+            strategy: SnapDecode::decode_snap(r)?,
+            branches: r.get_u32()?,
+            ii_window: r.get_u32()?,
+            retries: r.get_u32()?,
+            seed: r.get_u64()?,
+            branch_jobs: r.get_u32()?,
+        })
+    }
+}
+
+impl SnapEncode for SchedulerStats {
+    fn encode_snap(&self, w: &mut SnapWriter) {
+        w.put_u64(self.attempts);
+        w.put_u64(self.ejections);
+        w.put_u64(self.forced);
+        w.put_u32(self.spill_stores);
+        w.put_u32(self.spill_loads);
+        w.put_u32(self.moves);
+        w.put_u64(self.moves_removed);
+        w.put_u32(self.restarts);
+        w.put_u64(self.spill_memo_hits);
+        w.put_u64(self.spill_memo_misses);
+        w.put_f64(self.scheduling_seconds);
+    }
+}
+
+impl SnapDecode for SchedulerStats {
+    fn decode_snap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(SchedulerStats {
+            attempts: r.get_u64()?,
+            ejections: r.get_u64()?,
+            forced: r.get_u64()?,
+            spill_stores: r.get_u32()?,
+            spill_loads: r.get_u32()?,
+            moves: r.get_u32()?,
+            moves_removed: r.get_u64()?,
+            restarts: r.get_u32()?,
+            spill_memo_hits: r.get_u64()?,
+            spill_memo_misses: r.get_u64()?,
+            scheduling_seconds: r.get_f64()?,
+        })
+    }
+}
+
+impl SnapEncode for SearchMeta {
+    fn encode_snap(&self, w: &mut SnapWriter) {
+        self.strategy.encode_snap(w);
+        w.put_u32(self.attempts);
+        w.put_u32(self.candidates);
+        w.put_u32(self.groups);
+        w.put_f64(self.branch_attempt_seconds);
+        w.put_f64(self.branch_critical_seconds);
+    }
+}
+
+impl SnapDecode for SearchMeta {
+    fn decode_snap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(SearchMeta {
+            strategy: SnapDecode::decode_snap(r)?,
+            attempts: r.get_u32()?,
+            candidates: r.get_u32()?,
+            groups: r.get_u32()?,
+            branch_attempt_seconds: r.get_f64()?,
+            branch_critical_seconds: r.get_f64()?,
+        })
+    }
+}
+
+impl SnapEncode for Placement {
+    fn encode_snap(&self, w: &mut SnapWriter) {
+        w.put_i64(self.cycle);
+        w.put_u16(self.cluster.0);
+    }
+}
+
+impl SnapDecode for Placement {
+    fn decode_snap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(Placement {
+            cycle: r.get_i64()?,
+            cluster: ClusterId(r.get_u16()?),
+        })
+    }
+}
+
+impl SnapEncode for ScheduleResult {
+    fn encode_snap(&self, w: &mut SnapWriter) {
+        self.loop_name.encode_snap(w);
+        w.put_u32(self.ii);
+        w.put_u32(self.mii);
+        self.graph.encode_snap(w);
+        // Canonical placement order: sorted by node id, so equal results
+        // encode to byte-identical payloads.
+        let mut placed: Vec<(NodeId, Placement)> =
+            self.placements.iter().map(|(&n, &p)| (n, p)).collect();
+        placed.sort_unstable_by_key(|(n, _)| *n);
+        placed.encode_snap(w);
+        self.max_live.encode_snap(w);
+        w.put_u32(self.memory_traffic);
+        w.put_u32(self.moves);
+        w.put_u32(self.span);
+        self.stats.encode_snap(w);
+        self.search.encode_snap(w);
+    }
+}
+
+impl SnapDecode for ScheduleResult {
+    fn decode_snap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let loop_name = String::decode_snap(r)?;
+        let ii = r.get_u32()?;
+        let mii = r.get_u32()?;
+        let graph = DepGraph::decode_snap(r)?;
+        let placed: Vec<(NodeId, Placement)> = SnapDecode::decode_snap(r)?;
+        if !placed.windows(2).all(|w| w[0].0 < w[1].0) {
+            return Err(SnapError::Malformed("placements are not sorted by node id"));
+        }
+        let mut placements: HashMap<NodeId, Placement> = HashMap::default();
+        placements.reserve(placed.len());
+        for (n, p) in placed {
+            placements.insert(n, p);
+        }
+        Ok(ScheduleResult {
+            loop_name,
+            ii,
+            mii,
+            graph,
+            placements,
+            max_live: SnapDecode::decode_snap(r)?,
+            memory_traffic: r.get_u32()?,
+            moves: r.get_u32()?,
+            span: r.get_u32()?,
+            stats: SnapDecode::decode_snap(r)?,
+            search: SnapDecode::decode_snap(r)?,
+        })
+    }
+}
+
+/// Encode a [`ScheduleResult`] into a sealed `MRES` blob.
+#[must_use]
+pub fn encode_result(result: &ScheduleResult) -> Vec<u8> {
+    encode_blob(RESULT_MAGIC, result)
+}
+
+/// Decode a sealed `MRES` blob back into a [`ScheduleResult`].
+///
+/// # Errors
+///
+/// Any [`SnapError`] from the envelope or payload check.
+pub fn decode_result(blob: &[u8]) -> Result<ScheduleResult, SnapError> {
+    decode_blob(RESULT_MAGIC, blob)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MirsScheduler, SchedulerOptions};
+    use ddg::LoopBuilder;
+    use vliw::{MachineConfig, Opcode};
+
+    fn scheduled_result() -> ScheduleResult {
+        let mut b = LoopBuilder::new("daxpy");
+        let a = b.invariant("a");
+        let x = b.load("x");
+        let y = b.load("y");
+        let ax = b.op(Opcode::FpMul, &[a, x]);
+        let sum = b.op(Opcode::FpAdd, &[ax, y]);
+        b.store("y", sum);
+        let lp = b.finish(1000);
+        let machine = MachineConfig::paper_config(2, 32).unwrap();
+        MirsScheduler::new(&machine, SchedulerOptions::default())
+            .schedule(&lp)
+            .expect("schedulable loop")
+    }
+
+    #[test]
+    fn result_round_trip_preserves_schedule_hash() {
+        let r = scheduled_result();
+        let blob = encode_result(&r);
+        let back = decode_result(&blob).unwrap();
+        assert_eq!(back.schedule_hash(), r.schedule_hash());
+        assert_eq!(back.ii, r.ii);
+        assert_eq!(back.mii, r.mii);
+        assert_eq!(back.loop_name, r.loop_name);
+        assert_eq!(back.placements.len(), r.placements.len());
+        assert_eq!(back.max_live, r.max_live);
+        assert_eq!(back.stats, r.stats);
+        assert_eq!(back.search, r.search);
+        assert!(back.graph.same_content(&r.graph));
+    }
+
+    #[test]
+    fn encoding_is_canonical() {
+        let r = scheduled_result();
+        assert_eq!(encode_result(&r), encode_result(&r.clone()));
+    }
+
+    #[test]
+    fn unsorted_placements_are_rejected() {
+        let r = scheduled_result();
+        let blob = encode_result(&r);
+        // Decode, then re-encode by hand with the placement list reversed.
+        let payload = vliw::snap::unseal(RESULT_MAGIC, &blob).unwrap();
+        // Find the placement section is non-trivial; instead craft a tiny
+        // result with two placements in the wrong order.
+        let _ = payload;
+        let mut w = SnapWriter::new();
+        String::from("t").encode_snap(&mut w);
+        w.put_u32(1); // ii
+        w.put_u32(1); // mii
+        DepGraph::new().encode_snap(&mut w);
+        let placed = vec![
+            (
+                NodeId(1),
+                Placement {
+                    cycle: 0,
+                    cluster: ClusterId(0),
+                },
+            ),
+            (
+                NodeId(0),
+                Placement {
+                    cycle: 1,
+                    cluster: ClusterId(0),
+                },
+            ),
+        ];
+        placed.encode_snap(&mut w);
+        Vec::<u32>::new().encode_snap(&mut w);
+        w.put_u32(0);
+        w.put_u32(0);
+        w.put_u32(0);
+        SchedulerStats::default().encode_snap(&mut w);
+        SearchMeta::default().encode_snap(&mut w);
+        let bad = vliw::snap::seal(RESULT_MAGIC, &w.into_bytes());
+        assert!(matches!(
+            decode_result(&bad),
+            Err(SnapError::Malformed("placements are not sorted by node id"))
+        ));
+    }
+
+    #[test]
+    fn search_config_round_trip() {
+        let cfg = SearchConfig::backtracking()
+            .with_branches(5)
+            .with_retries(7)
+            .with_seed(42)
+            .with_branch_jobs(4);
+        let blob = vliw::snap::encode_blob(*b"TCFG", &cfg);
+        let back: SearchConfig = vliw::snap::decode_blob(*b"TCFG", &blob).unwrap();
+        assert_eq!(back, cfg);
+    }
+}

@@ -16,12 +16,11 @@
 
 use crate::ids::{NodeId, ValueId};
 use crate::loop_ir::MemAccess;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use vliw::{LatencyModel, MemLatency, Opcode};
 
 /// Identifier of a dependence edge.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct EdgeId(pub u32);
 
 impl EdgeId {
@@ -39,7 +38,7 @@ impl fmt::Display for EdgeId {
 }
 
 /// Kind of dependence between two operations.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DepKind {
     /// True (flow) dependence through a register: producer → consumer.
     RegFlow,
@@ -57,7 +56,7 @@ pub enum DepKind {
 ///
 /// The modulo-scheduling constraint implied by an edge is
 /// `cycle(to) ≥ cycle(from) + latency − II · distance`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DepEdge {
     /// Source node.
     pub from: NodeId,
@@ -76,7 +75,7 @@ pub struct DepEdge {
 }
 
 /// Why a node exists in the graph.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum NodeOrigin {
     /// Operation of the original loop body.
     Original,
@@ -106,7 +105,7 @@ impl NodeOrigin {
 }
 
 /// Payload of a graph node: one machine operation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct OperationData {
     /// Machine opcode.
     pub opcode: Opcode,
@@ -159,7 +158,7 @@ impl OperationData {
 }
 
 /// A value (virtual register) of the loop.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ValueData {
     /// Human-readable name.
     pub name: String,
@@ -239,7 +238,7 @@ pub struct GraphCheckpoint {
 /// `contains`/`is_live` can be used to check).
 ///
 /// See the module docs for the transactional checkpoint/rollback layer.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct DepGraph {
     nodes: Vec<Option<OperationData>>,
     values: Vec<ValueData>,
@@ -253,10 +252,8 @@ pub struct DepGraph {
     /// instead of O(nodes).
     consumers: Vec<Vec<NodeId>>,
     /// Undo log of the active transaction (empty while journaling is off).
-    #[serde(skip)]
     journal: Vec<UndoOp>,
     /// Whether mutations are currently journaled.
-    #[serde(skip)]
     journaling: bool,
     /// Monotonic-per-transaction structural version: bumped by every
     /// mutation, restored by rollback. Two equal epochs taken at
@@ -264,12 +261,10 @@ pub struct DepGraph {
     /// (an HRMS order, cached heights) can be reused across rollbacks.
     /// Epochs taken *mid-transaction* must not be compared across a
     /// rollback (an equal count of different edits would alias).
-    #[serde(skip)]
     epoch: u64,
     /// Bumped by every [`DepGraph::commit`]; checkpoints carry the
     /// generation they were taken in, so `rollback_to` can reject
     /// checkpoints that a commit invalidated.
-    #[serde(skip)]
     generation: u64,
 }
 
@@ -878,6 +873,111 @@ impl DepGraph {
             && self.succ == other.succ
             && self.pred == other.pred
             && self.consumers == other.consumers
+    }
+
+    /// Structural payload of the graph for the snapshot codec
+    /// (`ddg::snap`): nodes, values and edges *including tombstones*, in
+    /// id order. Adjacency lists and the consumer index are derived data,
+    /// rebuilt on decode by [`DepGraph::from_snap_parts`]; transaction
+    /// bookkeeping is never captured.
+    pub(crate) fn snap_parts(
+        &self,
+    ) -> (&[Option<OperationData>], &[ValueData], &[Option<DepEdge>]) {
+        (&self.nodes, &self.values, &self.edges)
+    }
+
+    /// Rebuild a graph from decoded snapshot parts.
+    ///
+    /// Tombstone slots keep their positions, so id allocation continues
+    /// exactly where the encoded graph left off. `succ`/`pred` lists are
+    /// regenerated by scanning live edges in id order and the consumer
+    /// index by scanning live nodes' operands in id order — exactly the
+    /// orderings the mutation API maintains (appends are in id order and
+    /// removals preserve relative order), so the rebuilt graph is
+    /// [`DepGraph::same_content`]-identical to the encoded one. Journaling
+    /// state is reset: snapshots never capture an open transaction.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the violated invariant when the parts are
+    /// inconsistent (dangling ids, edges touching tombstoned nodes, value
+    /// producers that are not live nodes), so hostile snapshot payloads
+    /// surface as typed decode errors rather than panics downstream.
+    pub(crate) fn from_snap_parts(
+        nodes: Vec<Option<OperationData>>,
+        values: Vec<ValueData>,
+        edges: Vec<Option<DepEdge>>,
+    ) -> Result<Self, &'static str> {
+        if nodes.len() > u32::MAX as usize
+            || values.len() > u32::MAX as usize
+            || edges.len() > u32::MAX as usize
+        {
+            return Err("snapshot graph exceeds id space");
+        }
+        let node_live = |n: NodeId| nodes.get(n.index()).map(Option::is_some).unwrap_or(false);
+        for op in nodes.iter().flatten() {
+            if let Some(d) = op.dest {
+                if d.index() >= values.len() {
+                    return Err("node dest value out of range");
+                }
+            }
+            if op.srcs.iter().any(|s| s.index() >= values.len()) {
+                return Err("node src value out of range");
+            }
+            let origin_value = match op.origin {
+                NodeOrigin::Original => None,
+                NodeOrigin::SpillStore { value }
+                | NodeOrigin::SpillLoad { value }
+                | NodeOrigin::Move { value } => Some(value),
+            };
+            if origin_value.is_some_and(|v| v.index() >= values.len()) {
+                return Err("node origin value out of range");
+            }
+        }
+        for v in &values {
+            if let Some(p) = v.producer {
+                if !node_live(p) {
+                    return Err("value producer is not a live node");
+                }
+            }
+        }
+        let mut succ: Vec<Vec<EdgeId>> = vec![Vec::new(); nodes.len()];
+        let mut pred: Vec<Vec<EdgeId>> = vec![Vec::new(); nodes.len()];
+        for (i, slot) in edges.iter().enumerate() {
+            let Some(edge) = slot else { continue };
+            if !node_live(edge.from) || !node_live(edge.to) {
+                return Err("edge endpoint is not a live node");
+            }
+            if edge.value.is_some_and(|v| v.index() >= values.len()) {
+                return Err("edge value out of range");
+            }
+            let e = EdgeId(i as u32);
+            succ[edge.from.index()].push(e);
+            pred[edge.to.index()].push(e);
+        }
+        let mut consumers: Vec<Vec<NodeId>> = vec![Vec::new(); values.len()];
+        for (i, slot) in nodes.iter().enumerate() {
+            let Some(op) = slot else { continue };
+            let n = NodeId(i as u32);
+            for s in &op.srcs {
+                let list = &mut consumers[s.index()];
+                if let Err(pos) = list.binary_search(&n) {
+                    list.insert(pos, n);
+                }
+            }
+        }
+        Ok(Self {
+            nodes,
+            values,
+            edges,
+            succ,
+            pred,
+            consumers,
+            journal: Vec::new(),
+            journaling: false,
+            epoch: 0,
+            generation: 0,
+        })
     }
 
     /// Apply the inverse of one journaled mutation.

@@ -1,6 +1,5 @@
 //! Typed identifiers for graph nodes and values.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of an operation (node) in a [`DepGraph`](crate::DepGraph).
@@ -8,7 +7,7 @@ use std::fmt;
 /// Node ids are stable for the lifetime of the graph: removing a node does
 /// not shift the ids of other nodes, so the scheduler can keep references to
 /// nodes across spill insertion and move removal.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct NodeId(pub u32);
 
 impl NodeId {
@@ -26,7 +25,7 @@ impl fmt::Display for NodeId {
 }
 
 /// Identifier of a value (virtual register) in a [`DepGraph`](crate::DepGraph).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ValueId(pub u32);
 
 impl ValueId {

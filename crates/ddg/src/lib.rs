@@ -21,6 +21,8 @@
 //!   critical cycle, folded modulo the initiation interval.
 //! * [`unroll`] — loop unrolling, used by the workbench to saturate wide
 //!   cores with small loop bodies.
+//! * [`snap`] — the versioned binary snapshot codec for loops and graphs
+//!   (`MDDG`/`MLOP` blobs), the substrate of the persistent schedule cache.
 //!
 //! # Example
 //!
@@ -56,6 +58,7 @@ pub mod lifetime;
 mod loop_ir;
 pub mod mii;
 pub mod recurrence;
+pub mod snap;
 pub mod unroll;
 
 pub use builder::LoopBuilder;

@@ -15,10 +15,9 @@
 //! spill heuristic of MIRS-C chooses from.
 
 use crate::ids::ValueId;
-use serde::{Deserialize, Serialize};
 
 /// Lifetime of one value in absolute schedule cycles.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LifetimeInterval {
     /// The value this lifetime belongs to.
     pub value: ValueId,
@@ -74,7 +73,7 @@ impl LifetimeInterval {
 }
 
 /// Per-kernel-cycle register pressure of a set of lifetimes.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Pressure {
     per_cycle: Vec<u32>,
 }
@@ -157,7 +156,7 @@ impl Pressure {
 /// identical contribution, so after any add/remove sequence the map equals
 /// the from-scratch computation over the currently-present intervals — the
 /// invariant the schedulers' property tests pin down.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PressureMap {
     ii: u32,
     per_cycle: Vec<u32>,
@@ -282,7 +281,7 @@ impl PressureMap {
 /// heuristic of MIRS-C selects whole uses for spilling and never spills the
 /// first `non-spillable` cycles after the definition (the producer's
 /// latency, during which the value is still in the pipeline).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct UseSection {
     /// The value the section belongs to.
     pub value: ValueId,

@@ -1,7 +1,6 @@
 //! Loop-level IR: a dependence graph plus execution metadata.
 
 use crate::graph::DepGraph;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Memory access pattern of a load or store.
@@ -9,7 +8,7 @@ use std::fmt;
 /// The address referenced in iteration `i` is
 /// `base(array) + offset + stride · i` (in bytes). The cache simulator
 /// assigns a distinct base address to every `array` symbol.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct MemAccess {
     /// Symbolic array identifier (per-loop namespace).
     pub array: u32,
@@ -59,7 +58,7 @@ impl MemAccess {
 }
 
 /// An innermost loop: the unit of software pipelining.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Loop {
     /// Loop name (used in reports).
     pub name: String,

@@ -11,12 +11,11 @@
 
 use crate::graph::DepGraph;
 use crate::recurrence::{rec_mii_of_graph, Recurrence};
-use serde::{Deserialize, Serialize};
 use vliw::{LatencyModel, OpClass};
 
 /// The initiation-interval lower bounds of a loop on a machine with
 /// `gp_units` general-purpose units and `mem_ports` memory ports in total.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MiiBounds {
     /// Resource-constrained minimum II.
     pub res_mii: u32,

@@ -53,18 +53,22 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod fig2;
 pub mod fig5;
 pub mod fig6;
 pub mod fig7;
 pub mod runner;
+pub mod service;
 pub mod sweep;
 pub mod table1;
 pub mod table2;
 pub mod table3;
 
+pub use cache::{cache_key, CacheKey, CacheStats, ScheduleCache, StoreOutcome};
 pub use runner::{
     run_sweep, run_workbench, run_workbench_opts, run_workbench_with, LoopOutcome, SchedulerKind,
     SweepJob, WorkbenchSummary,
 };
+pub use service::{Provenance, ScheduleRequest, ScheduleResponse, ScheduleService};
 pub use sweep::{BranchPool, CancelToken, SweepError, SweepExecutor, SweepHooks};

@@ -1,6 +1,5 @@
 //! Per-cluster resource description.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Description of one cluster: its functional units, memory ports,
@@ -9,7 +8,7 @@ use std::fmt;
 /// The paper names cluster elements `GPxMy-REGz`: `x` general-purpose
 /// floating-point units, `y` memory ports and `z` registers, plus one input
 /// and one output port for inter-cluster moves.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ClusterConfig {
     /// Number of general-purpose (arithmetic) functional units.
     pub gp_units: u32,

@@ -5,7 +5,6 @@ use crate::error::ConfigError;
 use crate::op::{LatencyModel, Opcode};
 use crate::reservation::ReservationTable;
 use crate::resource::{ClusterId, ResourceIndexer, ResourceKind};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Complete description of a (possibly clustered) VLIW core.
@@ -34,7 +33,7 @@ use std::fmt;
 /// across every worker of a parallel workbench sweep, so nothing here may
 /// ever grow interior mutability or a lazily-populated cache without
 /// synchronisation.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MachineConfig {
     clusters: Vec<ClusterConfig>,
     buses: u32,

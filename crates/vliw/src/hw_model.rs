@@ -23,14 +23,13 @@
 //! the neighbourhood of a 16-register unified core.
 
 use crate::config::MachineConfig;
-use serde::{Deserialize, Serialize};
 
 /// Analytical register-file hardware model.
 ///
 /// All outputs are in arbitrary-but-consistent units (picoseconds for delay,
 /// normalized grid units for area and power); the experiments only ever use
 /// ratios between configurations.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HwModel {
     /// Fixed (non register-file) component of the cycle time, in ps.
     pub base_delay_ps: f64,
@@ -65,7 +64,7 @@ impl Default for HwModel {
 }
 
 /// Hardware estimate for a full machine configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HwEstimate {
     /// Core cycle time in picoseconds (the slowest cluster decides).
     pub cycle_time_ps: f64,

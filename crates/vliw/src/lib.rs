@@ -16,6 +16,9 @@
 //! * [`HwModel`] — an analytical register-file technology model in the style
 //!   of Rixner et al. used to reproduce Figure 2 of the paper (cycle time,
 //!   area and power as a function of registers, ports and clustering).
+//! * [`snap`] — the versioned binary snapshot codec ([`SnapEncode`] /
+//!   [`SnapDecode`], blob envelope, typed [`SnapError`]) that the whole
+//!   workspace's persistence layer builds on.
 //!
 //! # Example
 //!
@@ -44,6 +47,7 @@ mod hw_model;
 mod op;
 mod reservation;
 mod resource;
+pub mod snap;
 
 pub use cluster::ClusterConfig;
 pub use config::{MachineBuilder, MachineConfig};
@@ -52,3 +56,4 @@ pub use hw_model::{HwEstimate, HwModel};
 pub use op::{LatencyModel, MemLatency, OpClass, Opcode};
 pub use reservation::{ReservationTable, ResourceUse};
 pub use resource::{ClusterId, ResourceIndexer, ResourceKind};
+pub use snap::{SnapDecode, SnapEncode, SnapError, SnapReader, SnapWriter};

@@ -10,11 +10,10 @@
 
 use crate::op::{LatencyModel, Opcode};
 use crate::resource::{ClusterId, ResourceKind};
-use serde::{Deserialize, Serialize};
 
 /// One resource requirement of a reservation table: `kind` is occupied during
 /// cycle `issue + offset`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ResourceUse {
     /// Cycle offset relative to the issue cycle of the operation.
     pub offset: u32,
@@ -23,7 +22,7 @@ pub struct ResourceUse {
 }
 
 /// Resource usage pattern of a single operation instance.
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct ReservationTable {
     uses: Vec<ResourceUse>,
 }

@@ -1,16 +1,13 @@
 //! Resource identifiers used by reservation tables and the modulo
 //! reservation table of the schedulers.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of a cluster (0-based).
 ///
 /// In a non-clustered (unified) machine there is exactly one cluster with
 /// id 0, which keeps the scheduler code uniform.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub struct ClusterId(pub u16);
 
 impl ClusterId {
@@ -47,7 +44,7 @@ impl From<usize> for ClusterId {
 /// Resources are identified *per cluster* except for the inter-cluster buses,
 /// which are shared by the whole core. Reservation tables list which of these
 /// resources an operation occupies at each cycle relative to its issue cycle.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum ResourceKind {
     /// One of the general-purpose functional units of `cluster`.
     GpUnit {
@@ -120,7 +117,7 @@ impl ResourceKind {
 /// assert_eq!(ix.kind_at(idx), mem1); // kind_at inverts index_of
 /// assert_eq!(ix.index_of(ResourceKind::Bus), ix.len() - 1);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ResourceIndexer {
     clusters: u16,
 }

@@ -22,8 +22,15 @@
 //! one row per (config, strategy) with the per-strategy ΣII and spill-op
 //! columns next to the timings. Schedules are byte-identical for any
 //! worker count.
+//!
+//! When the persistent schedule cache is enabled (`MIRS_CACHE_DIR`), the
+//! metrics pass routes through it and a `cache` column reports the pass's
+//! hits/misses/refines; the timed passes always schedule fresh — they
+//! measure the scheduler, not the disk.
 
+use harness::cache::ScheduleCache;
 use harness::runner::{run_workbench_opts, time_workbench_opts, SchedTimeTrial, SchedulerKind};
+use harness::service::run_workbench_cached;
 use harness::sweep::SweepExecutor;
 use loopgen::{Workbench, WorkbenchParams};
 use mirs::{PrefetchPolicy, SearchConfig, SearchStrategyKind};
@@ -78,16 +85,20 @@ fn main() {
         None => SweepExecutor::from_env(),
     };
     let strategies = strategies();
+    let cache = ScheduleCache::from_env();
     let wb = Workbench::generate(&WorkbenchParams {
         loops,
         ..WorkbenchParams::default()
     });
     println!(
-        "scheduling {loops} loops x {repeats} passes per configuration on {} worker(s)\n",
-        exec.jobs()
+        "scheduling {loops} loops x {repeats} passes per configuration on {} worker(s){}\n",
+        exec.jobs(),
+        cache
+            .dir()
+            .map_or(String::new(), |d| format!(", cache at {}", d.display()))
     );
     println!(
-        "{:<18} {:>9} {:>6} {:>9} {:>12} {:>12} {:>12} {:>14} {:>8}",
+        "{:<18} {:>9} {:>6} {:>9} {:>12} {:>12} {:>12} {:>14} {:>8} {:>12}",
         "config",
         "strategy",
         "ΣII",
@@ -96,7 +107,8 @@ fn main() {
         "mean (s)",
         "wall (s)",
         "loops/s (wall)",
-        "speedup"
+        "speedup",
+        "cache h/m/r"
     );
     for (k, regs) in [(1u32, 64u32), (2, 32), (4, 16)] {
         let machine = MachineConfig::paper_config(k, regs).expect("paper config");
@@ -106,33 +118,57 @@ fn main() {
             // branch-parallel backtracking path through this example.
             let search = SearchConfig::for_strategy(strategy)
                 .with_branch_jobs(SearchConfig::from_env().branch_jobs);
-            // The metrics pass doubles as one of the timed passes: its
-            // wall clock and aggregate scheduling seconds fold into the
-            // trial below, so the SII/spill columns cost no extra
-            // workbench scheduling.
+            // The metrics pass doubles as one of the timed passes when the
+            // cache is off: its wall clock and aggregate scheduling seconds
+            // fold into the trial below, so the SII/spill columns cost no
+            // extra workbench scheduling. With the cache on, the metrics
+            // pass routes through it (populating / replaying entries) and
+            // the timed passes all schedule fresh — the timings measure the
+            // scheduler, never disk replay.
+            let before = cache.stats();
             let started = std::time::Instant::now();
-            let summary = run_workbench_opts(
-                &exec,
-                &wb,
-                &machine,
-                SchedulerKind::MirsC,
-                PrefetchPolicy::HitLatency,
-                search,
-            );
+            let summary = if cache.is_enabled() {
+                run_workbench_cached(
+                    &exec,
+                    &cache,
+                    &wb,
+                    &machine,
+                    SchedulerKind::MirsC,
+                    PrefetchPolicy::HitLatency,
+                    search,
+                )
+                .0
+            } else {
+                run_workbench_opts(
+                    &exec,
+                    &wb,
+                    &machine,
+                    SchedulerKind::MirsC,
+                    PrefetchPolicy::HitLatency,
+                    search,
+                )
+            };
             let metrics_wall = started.elapsed().as_secs_f64();
+            let after = cache.stats();
             let spill_ops: u64 = summary
                 .outcomes
                 .iter()
                 .map(|o| u64::from(o.spill_ops()))
                 .sum();
-            let mut trial = if repeats > 1 {
+            let fold_metrics_pass = !cache.is_enabled();
+            let timed_repeats = if fold_metrics_pass {
+                repeats.saturating_sub(1)
+            } else {
+                repeats
+            };
+            let mut trial = if timed_repeats > 0 {
                 time_workbench_opts(
                     &exec,
                     &wb,
                     &machine,
                     SchedulerKind::MirsC,
                     PrefetchPolicy::HitLatency,
-                    repeats - 1,
+                    timed_repeats,
                     search,
                 )
             } else {
@@ -145,10 +181,22 @@ fn main() {
                     wall_seconds: Vec::new(),
                 }
             };
-            trial.pass_seconds.push(summary.total_scheduling_seconds());
-            trial.wall_seconds.push(metrics_wall);
+            if fold_metrics_pass {
+                trial.pass_seconds.push(summary.total_scheduling_seconds());
+                trial.wall_seconds.push(metrics_wall);
+            }
+            let cache_cell = if cache.is_enabled() {
+                format!(
+                    "{}/{}/{}",
+                    after.hits - before.hits,
+                    after.misses - before.misses,
+                    after.refines - before.refines
+                )
+            } else {
+                "-".to_string()
+            };
             println!(
-                "{:<18} {:>9} {:>6} {:>9} {:>12.4} {:>12.4} {:>12.4} {:>14.1} {:>7.2}x",
+                "{:<18} {:>9} {:>6} {:>9} {:>12.4} {:>12.4} {:>12.4} {:>14.1} {:>7.2}x {:>12}",
                 trial.config,
                 strategy.label(),
                 summary.sum_ii(|_| true),
@@ -157,7 +205,8 @@ fn main() {
                 trial.mean_seconds(),
                 trial.best_wall_seconds(),
                 trial.loops as f64 / trial.best_wall_seconds(),
-                trial.speedup()
+                trial.speedup(),
+                cache_cell
             );
         }
     }

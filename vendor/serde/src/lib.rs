@@ -7,6 +7,14 @@
 //! exactly like the real crate's `derive` feature). Replace the `vendor/`
 //! path dependencies with the real crates-io `serde` when networking is
 //! available; no source change is needed.
+//!
+//! The stub's role has narrowed over time: the scheduler's data types
+//! (`vliw`, `ddg`, `mirs`) no longer derive these traits — real
+//! persistence for machine configs, loops, graphs and schedule results
+//! lives in the hand-rolled snapshot codec (`vliw::snap`, `ddg::snap`,
+//! `mirs::snap`), which the persistent schedule cache (`harness::cache`)
+//! builds on. Only the report/summary types of `harness` and `memsim`
+//! still carry the derives, as future JSON-export hooks.
 
 pub use serde_derive::{Deserialize, Serialize};
 

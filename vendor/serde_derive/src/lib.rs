@@ -2,9 +2,10 @@
 //!
 //! The build environment has no route to a crates registry, so this crate
 //! accepts `#[derive(Serialize, Deserialize)]` (including `#[serde(...)]`
-//! helper attributes) and expands to nothing. Nothing in the workspace
-//! actually serialises values yet — the derives exist so the data types are
-//! ready for the real `serde` the moment a registry becomes reachable.
+//! helper attributes) and expands to nothing. Only the report/summary
+//! types of `harness` and `memsim` still use the derives (future JSON
+//! export); the scheduler's own data types moved to the hand-rolled
+//! snapshot codec (`vliw::snap` and friends) for real persistence.
 
 use proc_macro::TokenStream;
 
