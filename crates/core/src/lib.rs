@@ -65,14 +65,16 @@ mod spill;
 pub use error::ScheduleError;
 pub use options::{
     EjectionPolicy, PrefetchPolicy, SchedulerOptions, SearchConfig, SearchStrategyKind,
-    BRANCH_JOBS_ENV, STRATEGY_ENV,
+    BRANCH_JOBS_ENV, EXACT_BUDGET_ENV, STRATEGY_ENV,
 };
 pub use prefetch::apply_prefetch_policy;
-pub use result::{Placement, ScheduleResult, SchedulerStats, SearchMeta, ValidationError};
+pub use result::{
+    Placement, ScheduleResult, SchedulerStats, SearchMeta, SearchProof, ValidationError,
+};
 pub use schedule::PartialSchedule;
 pub use scheduler::MirsScheduler;
 pub use scratch::SchedScratch;
 pub use search::{
-    AttemptReport, BacktrackingSearch, BranchExecutor, InlineBranchExecutor, LinearSearch,
-    PerturbedRestartSearch, SearchMove, SearchStrategy, SearchView,
+    AttemptReport, BacktrackingSearch, BranchExecutor, ExactSearch, InlineBranchExecutor,
+    LinearSearch, PerturbedRestartSearch, SearchMove, SearchStrategy, SearchView,
 };

@@ -45,6 +45,14 @@ pub const STRATEGY_ENV: &str = "MIRS_STRATEGY";
 /// stays single-threaded regardless of this variable.
 pub const BRANCH_JOBS_ENV: &str = "MIRS_BRANCH_JOBS";
 
+/// Environment variable capping the [`SearchStrategyKind::Exact`]
+/// branch-and-bound certification budget, counted in residue-assignment
+/// expansions across all candidate IIs probed for one loop. `0` disables
+/// certification entirely (the bound degenerates to the MII and the proof
+/// to budget-exhausted); unset or unparsable values keep
+/// [`SearchConfig::DEFAULT_EXACT_BUDGET`].
+pub const EXACT_BUDGET_ENV: &str = "MIRS_EXACT_BUDGET";
+
 /// Which engine drives the search over candidate IIs.
 ///
 /// The strategy only decides *which* (II, priority-order) attempts are made
@@ -66,9 +74,28 @@ pub enum SearchStrategyKind {
     /// Re-enter a *failed* II up to `retries` times with deterministically
     /// perturbed priority orders before climbing; accept the first success.
     PerturbedRestart,
+    /// Certify a lower bound on the II by branch-and-bound over a residue
+    /// relaxation of the loop (dependence windows + aggregate MRT slot
+    /// capacities), then climb from that bound with the backtracking
+    /// branch exploration. The result carries a
+    /// [`SearchProof`](crate::SearchProof): proven optimal when the
+    /// achieved II equals the certified bound, otherwise the bound itself.
+    Exact,
 }
 
 impl SearchStrategyKind {
+    /// Every shipped strategy, in ascending quality-tier order (the order
+    /// the cache ladder serves them in). Exhaustive by construction:
+    /// [`SearchStrategyKind::tier`] is an exhaustive match, so adding a
+    /// variant without ranking it here is a compile error, not a silent
+    /// tier-0 entry.
+    pub const ALL: [SearchStrategyKind; 4] = [
+        SearchStrategyKind::Linear,
+        SearchStrategyKind::PerturbedRestart,
+        SearchStrategyKind::Backtracking,
+        SearchStrategyKind::Exact,
+    ];
+
     /// Short label used in flags, env values and table columns.
     #[must_use]
     pub fn label(self) -> &'static str {
@@ -76,6 +103,25 @@ impl SearchStrategyKind {
             SearchStrategyKind::Linear => "linear",
             SearchStrategyKind::Backtracking => "backtrack",
             SearchStrategyKind::PerturbedRestart => "perturb",
+            SearchStrategyKind::Exact => "exact",
+        }
+    }
+
+    /// Quality tier of the strategy in the monotone refinement ladder used
+    /// by the persistent schedule cache: a cached entry serves a request
+    /// iff the entry's tier is at least the request's, and a higher-tier
+    /// result refines a metric-tied lower-tier entry in place.
+    ///
+    /// The match is deliberately exhaustive (no `_` arm): a new strategy
+    /// fails to compile until it is ranked here and listed in
+    /// [`SearchStrategyKind::ALL`].
+    #[must_use]
+    pub fn tier(self) -> u8 {
+        match self {
+            SearchStrategyKind::Linear => 0,
+            SearchStrategyKind::PerturbedRestart => 1,
+            SearchStrategyKind::Backtracking => 2,
+            SearchStrategyKind::Exact => 3,
         }
     }
 
@@ -89,6 +135,7 @@ impl SearchStrategyKind {
             "perturb" | "perturbed" | "perturbed-restart" => {
                 Some(SearchStrategyKind::PerturbedRestart)
             }
+            "exact" | "bnb" | "branch-and-bound" => Some(SearchStrategyKind::Exact),
             _ => None,
         }
     }
@@ -131,6 +178,13 @@ pub struct SearchConfig {
     /// for every value: branch attempts are independent by construction and
     /// the merge is in deterministic attempt order.
     pub branch_jobs: u32,
+    /// Branch-and-bound budget of [`SearchStrategyKind::Exact`], counted in
+    /// residue-assignment expansions summed over every candidate II probed
+    /// for one loop. When the budget runs out the bound certified so far is
+    /// kept and the proof downgrades to budget-exhausted. The budget cannot
+    /// change which schedule is produced — only how much of the lower bound
+    /// is certified — so it is excluded from the cache key.
+    pub exact_budget: u64,
 }
 
 impl Default for SearchConfig {
@@ -142,11 +196,17 @@ impl Default for SearchConfig {
             retries: 2,
             seed: 0x5eed_1e55_c0de_2026,
             branch_jobs: 1,
+            exact_budget: Self::DEFAULT_EXACT_BUDGET,
         }
     }
 }
 
 impl SearchConfig {
+    /// Default [`SearchConfig::exact_budget`]: enough expansions to decide
+    /// every small-loop workbench slice within milliseconds, small enough
+    /// that a pathological loop cannot stall a sweep.
+    pub const DEFAULT_EXACT_BUDGET: u64 = 50_000;
+
     /// Configuration for the named strategy with default parameters.
     #[must_use]
     pub fn for_strategy(strategy: SearchStrategyKind) -> Self {
@@ -172,6 +232,12 @@ impl SearchConfig {
     #[must_use]
     pub fn perturbed() -> Self {
         Self::for_strategy(SearchStrategyKind::PerturbedRestart)
+    }
+
+    /// Exact branch-and-bound certification with default parameters.
+    #[must_use]
+    pub fn exact() -> Self {
+        Self::for_strategy(SearchStrategyKind::Exact)
     }
 
     /// Builder-style setter for the perturbation branches per II.
@@ -210,9 +276,17 @@ impl SearchConfig {
         self
     }
 
-    /// Configuration selected by the `MIRS_STRATEGY` and `MIRS_BRANCH_JOBS`
-    /// environment variables (default parameters for the named strategy;
-    /// [`SearchConfig::default`] when unset or unparsable).
+    /// Builder-style setter for the exact certification budget.
+    #[must_use]
+    pub fn with_exact_budget(mut self, budget: u64) -> Self {
+        self.exact_budget = budget;
+        self
+    }
+
+    /// Configuration selected by the `MIRS_STRATEGY`, `MIRS_BRANCH_JOBS`
+    /// and `MIRS_EXACT_BUDGET` environment variables (default parameters
+    /// for the named strategy; [`SearchConfig::default`] when unset or
+    /// unparsable).
     ///
     /// The variables are read once per process — sweeps consult this per
     /// scheduled loop and `std::env::var` takes a lock.
@@ -220,6 +294,7 @@ impl SearchConfig {
     pub fn from_env() -> Self {
         static KIND: std::sync::OnceLock<SearchStrategyKind> = std::sync::OnceLock::new();
         static BRANCH_JOBS: std::sync::OnceLock<u32> = std::sync::OnceLock::new();
+        static EXACT_BUDGET: std::sync::OnceLock<u64> = std::sync::OnceLock::new();
         let kind = *KIND.get_or_init(|| {
             std::env::var(STRATEGY_ENV)
                 .ok()
@@ -233,7 +308,15 @@ impl SearchConfig {
                 .filter(|&j| j > 0)
                 .unwrap_or(1)
         });
-        Self::for_strategy(kind).with_branch_jobs(branch_jobs)
+        let exact_budget = *EXACT_BUDGET.get_or_init(|| {
+            std::env::var(EXACT_BUDGET_ENV)
+                .ok()
+                .and_then(|v| v.parse::<u64>().ok())
+                .unwrap_or(Self::DEFAULT_EXACT_BUDGET)
+        });
+        Self::for_strategy(kind)
+            .with_branch_jobs(branch_jobs)
+            .with_exact_budget(exact_budget)
     }
 }
 
@@ -382,11 +465,7 @@ mod tests {
 
     #[test]
     fn strategy_names_round_trip_through_parse() {
-        for kind in [
-            SearchStrategyKind::Linear,
-            SearchStrategyKind::Backtracking,
-            SearchStrategyKind::PerturbedRestart,
-        ] {
+        for kind in SearchStrategyKind::ALL {
             assert_eq!(SearchStrategyKind::parse(kind.label()), Some(kind));
             assert_eq!(kind.to_string(), kind.label());
         }
@@ -398,7 +477,24 @@ mod tests {
             SearchStrategyKind::parse("perturbed"),
             Some(SearchStrategyKind::PerturbedRestart)
         );
+        assert_eq!(
+            SearchStrategyKind::parse("branch-and-bound"),
+            Some(SearchStrategyKind::Exact)
+        );
         assert_eq!(SearchStrategyKind::parse("annealing"), None);
+    }
+
+    #[test]
+    fn all_lists_every_strategy_in_tier_order() {
+        for (i, kind) in SearchStrategyKind::ALL.iter().enumerate() {
+            assert_eq!(
+                usize::from(kind.tier()),
+                i,
+                "ALL must be sorted by tier with no gaps"
+            );
+        }
+        assert_eq!(SearchStrategyKind::Linear.tier(), 0);
+        assert_eq!(SearchStrategyKind::Exact.tier(), 3, "exact is the top tier");
     }
 
     #[test]
@@ -408,13 +504,24 @@ mod tests {
             .with_ii_window(0)
             .with_retries(7)
             .with_seed(42)
-            .with_branch_jobs(0);
+            .with_branch_jobs(0)
+            .with_exact_budget(123);
         assert_eq!(cfg.strategy, SearchStrategyKind::Backtracking);
         assert_eq!(cfg.branches, 5);
         assert_eq!(cfg.ii_window, 1, "window clamps to at least 1");
         assert_eq!(cfg.retries, 7);
         assert_eq!(cfg.seed, 42);
         assert_eq!(cfg.branch_jobs, 1, "branch jobs clamp to at least 1");
+        assert_eq!(cfg.exact_budget, 123);
+        assert_eq!(
+            SearchConfig::exact().strategy,
+            SearchStrategyKind::Exact,
+            "exact() selects the exact strategy"
+        );
+        assert_eq!(
+            SearchConfig::default().exact_budget,
+            SearchConfig::DEFAULT_EXACT_BUDGET
+        );
         assert_eq!(cfg.with_branch_jobs(4).branch_jobs, 4);
         assert_eq!(SearchConfig::default().branch_jobs, 1);
         let o = SchedulerOptions::default().with_strategy(SearchStrategyKind::PerturbedRestart);

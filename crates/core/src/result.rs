@@ -45,6 +45,73 @@ pub struct SchedulerStats {
     pub scheduling_seconds: f64,
 }
 
+/// Optimality certificate attached to a schedule by the II-search layer.
+///
+/// Only [`SearchStrategyKind::Exact`](crate::SearchStrategyKind::Exact)
+/// produces non-[`Heuristic`](SearchProof::Heuristic) proofs. The carried
+/// bounds are *certified*: every II strictly below the bound was proven
+/// infeasible by exhausting a branch-and-bound over a sound relaxation of
+/// the scheduling problem (any valid schedule of the loop satisfies the
+/// relaxed constraints, so no valid schedule can beat the bound).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SearchProof {
+    /// Heuristic search: no optimality claim (every non-exact strategy).
+    #[default]
+    Heuristic,
+    /// The achieved II equals the certified lower bound — no valid schedule
+    /// of this loop on this machine has a smaller II.
+    Optimal,
+    /// Every II below the carried bound is proven infeasible, but the
+    /// search converged above it: either the remaining gap is real or the
+    /// relaxation was too coarse to close it (it ignores cluster moves and
+    /// register pressure).
+    LowerBound(u32),
+    /// The certification budget ran out while deciding the carried II:
+    /// every II strictly below it is proven infeasible, the carried II
+    /// itself is undecided.
+    BudgetExhausted(u32),
+}
+
+impl SearchProof {
+    /// Short label used in reports and table columns.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            SearchProof::Heuristic => "heuristic",
+            SearchProof::Optimal => "optimal",
+            SearchProof::LowerBound(_) => "lower-bound",
+            SearchProof::BudgetExhausted(_) => "budget-exhausted",
+        }
+    }
+
+    /// Whether the proof certifies the achieved II as optimal.
+    #[must_use]
+    pub fn is_optimal(self) -> bool {
+        matches!(self, SearchProof::Optimal)
+    }
+
+    /// The certified lower bound the proof carries, given the II the
+    /// search achieved (`None` for heuristic results).
+    #[must_use]
+    pub fn certified_lower_bound(self, achieved_ii: u32) -> Option<u32> {
+        match self {
+            SearchProof::Heuristic => None,
+            SearchProof::Optimal => Some(achieved_ii),
+            SearchProof::LowerBound(b) | SearchProof::BudgetExhausted(b) => Some(b),
+        }
+    }
+}
+
+impl fmt::Display for SearchProof {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SearchProof::LowerBound(b) => write!(f, "lower-bound({b})"),
+            SearchProof::BudgetExhausted(b) => write!(f, "budget-exhausted({b})"),
+            other => f.write_str(other.label()),
+        }
+    }
+}
+
 /// How the accepted schedule was found by the II-search layer.
 ///
 /// Equality deliberately ignores the wall-clock timing fields
@@ -80,6 +147,9 @@ pub struct SearchMeta {
     /// `branch_attempt_seconds / branch_critical_seconds` estimates the
     /// fan-out speedup available (or achieved) for this loop.
     pub branch_critical_seconds: f64,
+    /// Optimality certificate ([`SearchProof::Heuristic`] for every
+    /// non-exact strategy).
+    pub proof: SearchProof,
 }
 
 impl PartialEq for SearchMeta {
@@ -88,6 +158,7 @@ impl PartialEq for SearchMeta {
             && self.attempts == other.attempts
             && self.candidates == other.candidates
             && self.groups == other.groups
+            && self.proof == other.proof
     }
 }
 
@@ -133,6 +204,14 @@ impl ScheduleResult {
     #[must_use]
     pub fn execution_cycles(&self, iterations: u64) -> u64 {
         u64::from(self.span) + u64::from(self.ii) * iterations
+    }
+
+    /// The certified lower bound on the II carried by the search proof,
+    /// if any (`None` for heuristic results). For optimal proofs this is
+    /// the achieved II itself.
+    #[must_use]
+    pub fn certified_lower_bound(&self) -> Option<u32> {
+        self.search.proof.certified_lower_bound(self.ii)
     }
 
     /// Stable digest of the schedule: the II, every placement (node, cycle,
@@ -376,6 +455,37 @@ mod tests {
         };
         assert_eq!(r.execution_cycles(100), 10 + 300);
         assert_eq!(r.execution_cycles(0), 10);
+    }
+
+    #[test]
+    fn proof_carries_its_certified_bound() {
+        assert_eq!(SearchProof::Heuristic.certified_lower_bound(7), None);
+        assert_eq!(SearchProof::Optimal.certified_lower_bound(7), Some(7));
+        assert_eq!(SearchProof::LowerBound(5).certified_lower_bound(7), Some(5));
+        assert_eq!(
+            SearchProof::BudgetExhausted(4).certified_lower_bound(7),
+            Some(4)
+        );
+        assert!(SearchProof::Optimal.is_optimal());
+        assert!(!SearchProof::LowerBound(5).is_optimal());
+        assert_eq!(SearchProof::default(), SearchProof::Heuristic);
+        assert_eq!(SearchProof::LowerBound(5).to_string(), "lower-bound(5)");
+        assert_eq!(SearchProof::Optimal.to_string(), "optimal");
+    }
+
+    #[test]
+    fn search_meta_equality_includes_the_proof() {
+        let a = SearchMeta::default();
+        let b = SearchMeta {
+            proof: SearchProof::Optimal,
+            ..a
+        };
+        assert_ne!(a, b);
+        let timing_only = SearchMeta {
+            branch_attempt_seconds: 1.0,
+            ..a
+        };
+        assert_eq!(a, timing_only, "timing fields stay outside equality");
     }
 
     #[test]

@@ -211,6 +211,12 @@ impl<'m> MirsScheduler<'m> {
     /// single-threaded search: `Linear` and `PerturbedRestart` react to
     /// each attempt's outcome before choosing the next, so they have no
     /// independent branch set to fan out.
+    /// [`SearchStrategyKind::Exact`](crate::SearchStrategyKind::Exact)
+    /// first certifies a lower bound by branch-and-bound over the residue
+    /// relaxation (serially — the bounding dominates and has no
+    /// independent branch set), then climbs from that bound with the
+    /// backtracking exploration and stamps the resulting
+    /// [`SearchProof`](crate::SearchProof) on the result.
     ///
     /// # Errors
     ///
@@ -227,6 +233,9 @@ impl<'m> MirsScheduler<'m> {
             });
         }
         let search = &self.opts.search;
+        if search.strategy == crate::SearchStrategyKind::Exact {
+            return SearchDriver::new(self, lp, scratch).run_exact();
+        }
         if search.strategy == crate::SearchStrategyKind::Backtracking && search.branch_jobs > 1 {
             return SearchDriver::new(self, lp, scratch).run_branch_parallel(exec);
         }

@@ -51,13 +51,15 @@
 
 use crate::error::ScheduleError;
 use crate::options::{SearchConfig, SearchStrategyKind};
-use crate::result::{ScheduleResult, SchedulerStats, SearchMeta};
+use crate::result::{ScheduleResult, SchedulerStats, SearchMeta, SearchProof};
 use crate::scheduler::{debug_enabled, graph_audit_enabled, AttemptOutcome, MirsScheduler};
 use crate::scratch::SchedScratch;
 use ddg::{hrms, mii, CheckpointStack, DepGraph, Loop, NodeId};
 use std::sync::Mutex;
 use std::time::Instant;
 use vliw::Opcode;
+
+pub(crate) mod exact;
 
 /// Next action requested by a [`SearchStrategy`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -349,6 +351,40 @@ impl SearchStrategy for PerturbedRestartSearch {
     }
 }
 
+/// The climb phase of the [`SearchStrategyKind::Exact`] strategy: after
+/// the branch-and-bound prover has certified a lower bound (which the
+/// driver raises the climb floor to), the candidate-II exploration itself
+/// is [`BacktrackingSearch`] move-for-move — canonical order plus seeded
+/// perturbed branches per II under nested graph checkpoints — so the
+/// accepted schedule is byte-identical to what the backtracking strategy
+/// finds at the same II, and a cached backtrack entry can be refined in
+/// place by its exact twin. Only the reported kind (and, via the driver,
+/// the attached [`SearchProof`]) differ.
+#[derive(Debug)]
+pub struct ExactSearch {
+    inner: BacktrackingSearch,
+}
+
+impl ExactSearch {
+    /// Strategy with the given parameters.
+    #[must_use]
+    pub fn new(cfg: SearchConfig) -> Self {
+        Self {
+            inner: BacktrackingSearch::new(cfg),
+        }
+    }
+}
+
+impl SearchStrategy for ExactSearch {
+    fn kind(&self) -> SearchStrategyKind {
+        SearchStrategyKind::Exact
+    }
+
+    fn next_move(&mut self, view: &SearchView) -> SearchMove {
+        self.inner.next_move(view)
+    }
+}
+
 /// Stack-allocated dispatch over the shipped strategies (no `Box` per
 /// scheduled loop).
 #[derive(Debug)]
@@ -356,6 +392,7 @@ pub(crate) enum StrategyImpl {
     Linear(LinearSearch),
     Backtracking(BacktrackingSearch),
     Perturbed(PerturbedRestartSearch),
+    Exact(ExactSearch),
 }
 
 impl StrategyImpl {
@@ -364,12 +401,17 @@ impl StrategyImpl {
             StrategyImpl::Linear(s) => s,
             StrategyImpl::Backtracking(s) => s,
             StrategyImpl::Perturbed(s) => s,
+            StrategyImpl::Exact(s) => s,
         }
     }
 }
 
 impl SearchConfig {
     /// Instantiate the configured strategy.
+    ///
+    /// Note that [`SearchStrategyKind::Exact`] needs the driver's
+    /// [`SearchDriver::run_exact`] entry to get its bounding phase; the
+    /// bare strategy only reproduces the climb.
     pub(crate) fn strategy_impl(&self) -> StrategyImpl {
         match self.strategy {
             SearchStrategyKind::Linear => StrategyImpl::Linear(LinearSearch::default()),
@@ -379,6 +421,7 @@ impl SearchConfig {
             SearchStrategyKind::PerturbedRestart => {
                 StrategyImpl::Perturbed(PerturbedRestartSearch::new(*self))
             }
+            SearchStrategyKind::Exact => StrategyImpl::Exact(ExactSearch::new(*self)),
         }
     }
 }
@@ -472,6 +515,9 @@ pub(crate) struct SearchDriver<'a, 'm> {
     carried: SchedulerStats,
     view: SearchView,
     best: Option<Candidate>,
+    /// Certified lower bound from the exact bounding phase (`None` for
+    /// heuristic strategies); turned into the result's [`SearchProof`].
+    bound: Option<exact::CertifiedBound>,
     /// A move the strategy decided right after a success, to be executed on
     /// the next loop turn (so the strategy is consulted once per decision).
     deferred: Option<SearchMove>,
@@ -555,8 +601,47 @@ impl<'a, 'm> SearchDriver<'a, 'm> {
             carried: SchedulerStats::default(),
             view,
             best: None,
+            bound: None,
             deferred: None,
         }
+    }
+
+    /// Drive the [`SearchStrategyKind::Exact`] strategy: certify a lower
+    /// bound on the II by branch-and-bound over the residue relaxation
+    /// (see [`exact`]), raise the climb floor to that bound — every II
+    /// below it is proven infeasible, so attempting them is wasted work —
+    /// and then explore with the [`ExactSearch`] climb, which replays
+    /// [`BacktrackingSearch`] exactly. [`SearchDriver::finish`] turns the
+    /// carried bound into the result's [`SearchProof`].
+    pub(crate) fn run_exact(mut self) -> Result<ScheduleResult, ScheduleError> {
+        let cfg = self.sched.options().search;
+        let mut budget = exact::ExactBudget::new(cfg.exact_budget);
+        let bound = exact::certify_lower_bound(
+            &self.graph,
+            self.sched.machine(),
+            self.mii,
+            self.max_ii,
+            &mut budget,
+        );
+        if self.debug {
+            eprintln!(
+                "EXACT: loop '{}' mii={} certified lower bound {}{}",
+                self.lp.name,
+                self.mii,
+                bound.lower_bound,
+                if bound.exhausted {
+                    " (budget exhausted)"
+                } else {
+                    ""
+                },
+            );
+        }
+        // The strategy reads the climb floor from the view; the driver's
+        // own `mii` keeps reporting the ResMII/RecMII bound in the result.
+        self.view.mii = bound.lower_bound.max(self.mii);
+        self.bound = Some(bound);
+        let mut strategy = ExactSearch::new(cfg);
+        self.run(&mut strategy)
     }
 
     /// Drive `strategy` to completion.
@@ -953,6 +1038,26 @@ impl<'a, 'm> SearchDriver<'a, 'm> {
     /// Stamp the accepted result with timing and search metadata.
     fn finish(&mut self, kind: SearchStrategyKind, mut result: ScheduleResult) -> ScheduleResult {
         result.stats.scheduling_seconds = self.start.elapsed().as_secs_f64();
+        let proof = match self.bound {
+            None => SearchProof::Heuristic,
+            Some(b) => {
+                debug_assert!(
+                    result.ii >= b.lower_bound,
+                    "certified bound {} above the achieved II {} of loop '{}' — \
+                     the relaxation is unsound",
+                    b.lower_bound,
+                    result.ii,
+                    self.lp.name
+                );
+                if result.ii <= b.lower_bound {
+                    SearchProof::Optimal
+                } else if b.exhausted {
+                    SearchProof::BudgetExhausted(b.lower_bound)
+                } else {
+                    SearchProof::LowerBound(b.lower_bound)
+                }
+            }
+        };
         result.search = SearchMeta {
             strategy: kind,
             attempts: self.attempts,
@@ -960,6 +1065,7 @@ impl<'a, 'm> SearchDriver<'a, 'm> {
             groups: self.groups,
             branch_attempt_seconds: self.attempt_secs,
             branch_critical_seconds: self.critical_secs + self.group_max_secs,
+            proof,
         };
         if self.debug {
             eprintln!(

@@ -12,7 +12,7 @@
 //! byte-identical blobs regardless of hash-map iteration order.
 
 use crate::options::{SearchConfig, SearchStrategyKind};
-use crate::result::{Placement, ScheduleResult, SchedulerStats, SearchMeta};
+use crate::result::{Placement, ScheduleResult, SchedulerStats, SearchMeta, SearchProof};
 use ddg::collections::HashMap;
 use ddg::{DepGraph, NodeId};
 use vliw::snap::{
@@ -29,6 +29,7 @@ impl SnapEncode for SearchStrategyKind {
             SearchStrategyKind::Linear => 0,
             SearchStrategyKind::Backtracking => 1,
             SearchStrategyKind::PerturbedRestart => 2,
+            SearchStrategyKind::Exact => 3,
         });
     }
 }
@@ -39,7 +40,37 @@ impl SnapDecode for SearchStrategyKind {
             0 => SearchStrategyKind::Linear,
             1 => SearchStrategyKind::Backtracking,
             2 => SearchStrategyKind::PerturbedRestart,
+            3 => SearchStrategyKind::Exact,
             _ => return Err(SnapError::Malformed("unknown search-strategy tag")),
+        })
+    }
+}
+
+impl SnapEncode for SearchProof {
+    fn encode_snap(&self, w: &mut SnapWriter) {
+        match self {
+            SearchProof::Heuristic => w.put_u8(0),
+            SearchProof::Optimal => w.put_u8(1),
+            SearchProof::LowerBound(b) => {
+                w.put_u8(2);
+                w.put_u32(*b);
+            }
+            SearchProof::BudgetExhausted(b) => {
+                w.put_u8(3);
+                w.put_u32(*b);
+            }
+        }
+    }
+}
+
+impl SnapDecode for SearchProof {
+    fn decode_snap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(match r.get_u8()? {
+            0 => SearchProof::Heuristic,
+            1 => SearchProof::Optimal,
+            2 => SearchProof::LowerBound(r.get_u32()?),
+            3 => SearchProof::BudgetExhausted(r.get_u32()?),
+            _ => return Err(SnapError::Malformed("unknown search-proof tag")),
         })
     }
 }
@@ -52,6 +83,7 @@ impl SnapEncode for SearchConfig {
         w.put_u32(self.retries);
         w.put_u64(self.seed);
         w.put_u32(self.branch_jobs);
+        w.put_u64(self.exact_budget);
     }
 }
 
@@ -64,6 +96,7 @@ impl SnapDecode for SearchConfig {
             retries: r.get_u32()?,
             seed: r.get_u64()?,
             branch_jobs: r.get_u32()?,
+            exact_budget: r.get_u64()?,
         })
     }
 }
@@ -110,6 +143,7 @@ impl SnapEncode for SearchMeta {
         w.put_u32(self.groups);
         w.put_f64(self.branch_attempt_seconds);
         w.put_f64(self.branch_critical_seconds);
+        self.proof.encode_snap(w);
     }
 }
 
@@ -122,6 +156,7 @@ impl SnapDecode for SearchMeta {
             groups: r.get_u32()?,
             branch_attempt_seconds: r.get_f64()?,
             branch_critical_seconds: r.get_f64()?,
+            proof: SnapDecode::decode_snap(r)?,
         })
     }
 }
@@ -303,9 +338,34 @@ mod tests {
             .with_branches(5)
             .with_retries(7)
             .with_seed(42)
-            .with_branch_jobs(4);
+            .with_branch_jobs(4)
+            .with_exact_budget(9_001);
         let blob = vliw::snap::encode_blob(*b"TCFG", &cfg);
         let back: SearchConfig = vliw::snap::decode_blob(*b"TCFG", &blob).unwrap();
         assert_eq!(back, cfg);
+    }
+
+    #[test]
+    fn search_proof_round_trips_through_search_meta() {
+        for proof in [
+            SearchProof::Heuristic,
+            SearchProof::Optimal,
+            SearchProof::LowerBound(6),
+            SearchProof::BudgetExhausted(9),
+        ] {
+            let meta = SearchMeta {
+                strategy: SearchStrategyKind::Exact,
+                attempts: 3,
+                candidates: 1,
+                groups: 1,
+                branch_attempt_seconds: 0.0,
+                branch_critical_seconds: 0.0,
+                proof,
+            };
+            let blob = vliw::snap::encode_blob(*b"TMET", &meta);
+            let back: SearchMeta = vliw::snap::decode_blob(*b"TMET", &blob).unwrap();
+            assert_eq!(back, meta);
+            assert_eq!(back.proof, proof);
+        }
     }
 }

@@ -736,6 +736,30 @@ impl DepGraph {
         }
     }
 
+    /// The modulo-scheduling difference constraints implied by the live
+    /// edges: one `(from, to, latency, distance)` tuple per edge, with the
+    /// same latency resolution as [`DepGraph::edge_latency`]. Any schedule
+    /// of the graph at initiation interval `II` must satisfy
+    /// `t(to) − t(from) ≥ latency − II·distance` for every tuple.
+    ///
+    /// This is the propagation query exact feasibility provers build their
+    /// constraint closure from; tuples are yielded in ascending edge-id
+    /// order, so consumers inherit the graph's determinism.
+    pub fn difference_constraints<'a>(
+        &'a self,
+        lat: &'a LatencyModel,
+    ) -> impl Iterator<Item = (NodeId, NodeId, i64, u32)> + 'a {
+        self.edge_ids().map(move |e| {
+            let edge = self.edge(e);
+            (
+                edge.from,
+                edge.to,
+                self.latency_of(edge, lat),
+                edge.distance,
+            )
+        })
+    }
+
     /// Sum of operation latencies of all live nodes — a cheap upper bound on
     /// the schedule length used to bound II searches.
     #[must_use]
@@ -1302,6 +1326,31 @@ mod tests {
         assert_eq!(g.edge_latency(e, &lat), 2);
         g.op_mut(ld).mem_latency = MemLatency::Miss;
         assert_eq!(g.edge_latency(e, &lat), 25);
+    }
+
+    #[test]
+    fn difference_constraints_mirror_edge_latencies() {
+        let lat = LatencyModel::default();
+        let mut g = DepGraph::new();
+        let v = g.add_value("x", false);
+        let w = g.add_value("y", false);
+        let mul = g.add_node(OperationData::new(Opcode::FpMul, Some(v), vec![]));
+        let add = g.add_node(OperationData::new(Opcode::FpAdd, Some(w), vec![v]));
+        g.add_flow(mul, add, v, 0);
+        g.add_edge(DepEdge {
+            from: add,
+            to: mul,
+            kind: DepKind::RegAnti,
+            distance: 2,
+            delay_override: None,
+            value: Some(v),
+        });
+        let cs: Vec<_> = g.difference_constraints(&lat).collect();
+        assert_eq!(cs, vec![(mul, add, 4, 0), (add, mul, 0, 2)]);
+        // Removing a node drops its constraints with it.
+        let mut g2 = g.clone();
+        g2.remove_node(add);
+        assert_eq!(g2.difference_constraints(&lat).count(), 0);
     }
 
     #[test]

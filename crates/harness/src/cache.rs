@@ -20,11 +20,15 @@
 //! # Serve rule and refinement
 //!
 //! Strategies are tiered by search effort: `linear` (0) <
-//! `perturb` (1) < `backtrack` (2). A cached entry (tagged with the
-//! strategy that produced it) serves a request iff its tier is **at
-//! least** the requested tier — a Backtracking result satisfies a Linear
-//! request (it is never worse on the paper's metric), but a Linear entry
-//! never masquerades as a Backtracking result.
+//! `perturb` (1) < `backtrack` (2) < `exact` (3); the ladder lives in
+//! [`SearchStrategyKind::tier`] as an exhaustive match, so adding a
+//! strategy without ranking it is a compile error. A cached entry
+//! (tagged with the strategy that produced it) serves a request iff its
+//! tier is **at least** the requested tier — a Backtracking result
+//! satisfies a Linear request (it is never worse on the paper's metric),
+//! but a Linear entry never masquerades as a Backtracking result, and an
+//! Exact entry (which also carries its optimality proof) serves the
+//! whole ladder.
 //!
 //! [`ScheduleCache::store`] only replaces an existing entry when the new
 //! result strictly dominates by the paper's lexicographic
@@ -67,13 +71,13 @@ pub const ENTRY_MAGIC: [u8; 4] = *b"MCHE";
 
 /// Search-effort tier of a strategy: a cached result may serve any request
 /// of the same or a lower tier (see the module docs' serve rule).
+///
+/// Delegates to [`SearchStrategyKind::tier`], whose exhaustive match makes
+/// forgetting to rank a new strategy a compile error instead of a silent
+/// tier-0.
 #[must_use]
 pub fn strategy_tier(strategy: SearchStrategyKind) -> u8 {
-    match strategy {
-        SearchStrategyKind::Linear => 0,
-        SearchStrategyKind::PerturbedRestart => 1,
-        SearchStrategyKind::Backtracking => 2,
-    }
+    strategy.tier()
 }
 
 /// The paper's schedule-quality metric, lexicographic: initiation
@@ -518,6 +522,44 @@ mod tests {
                 .is_some());
             assert!(cache.lookup(key, SearchStrategyKind::Linear).is_some());
         }
+    }
+
+    #[test]
+    fn exact_entry_serves_every_tier_and_refines_backtrack_in_place() {
+        let cache = tmp_cache("exact");
+        let lp = daxpy();
+        let search = SearchConfig::backtracking();
+        let key = problem_key(&lp, &search);
+        let bt = scheduled(&lp, search);
+        assert_eq!(bt.search.strategy, SearchStrategyKind::Backtracking);
+        assert_eq!(cache.store(key, &bt), StoreOutcome::Inserted);
+        // A backtrack entry must not serve an exact request...
+        assert!(cache.lookup(key, SearchStrategyKind::Exact).is_none());
+        // ...but an exact run over the same problem ties backtrack on the
+        // metric (same climb, same schedule bytes) from a higher tier, so
+        // it refines the cached entry in place rather than inserting.
+        let exact = scheduled(&lp, SearchConfig::exact());
+        assert_eq!(exact.search.strategy, SearchStrategyKind::Exact);
+        assert_eq!(exact.schedule_hash(), bt.schedule_hash());
+        assert_eq!(cache.store(key, &exact), StoreOutcome::Refined);
+        // The refined entry now serves the whole ladder warm, proof intact.
+        for requested in SearchStrategyKind::ALL {
+            let back = cache.lookup(key, requested).expect("exact serves all");
+            assert_eq!(back.search.strategy, SearchStrategyKind::Exact);
+            assert!(back.certified_lower_bound().is_some());
+        }
+    }
+
+    #[test]
+    fn exact_budget_is_not_part_of_the_key() {
+        let lp = daxpy();
+        let base = SearchConfig::exact();
+        // The certification budget cannot change the schedule bytes, so
+        // two budgets must address the same entry.
+        assert_eq!(
+            problem_key(&lp, &base),
+            problem_key(&lp, &base.with_exact_budget(7))
+        );
     }
 
     #[test]

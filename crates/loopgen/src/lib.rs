@@ -14,7 +14,10 @@
 //!   long-latency operation mix;
 //! * [`workbench`] — the combination of both, scaled to an arbitrary number
 //!   of loops with per-loop trip counts and execution-time weights, with the
-//!   paper's "unroll small loops" policy applied.
+//!   paper's "unroll small loops" policy applied;
+//! * [`hard`] — pinned generator specs for loops where the optimality-gap
+//!   audit found the linear climb far from the certified optimum, kept as
+//!   named regression workloads.
 //!
 //! Only the dependence graph of each loop (plus its memory access pattern
 //! and trip count) reaches the schedulers, so the statistical properties the
@@ -35,9 +38,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod hard;
 pub mod kernels;
 pub mod synthetic;
 pub mod workbench;
 
+pub use hard::{hard_cases, HardCase, HARD_CASES};
 pub use synthetic::SyntheticParams;
 pub use workbench::{Workbench, WorkbenchParams};

@@ -57,6 +57,18 @@ impl WorkbenchParams {
             ..Self::default()
         }
     }
+
+    /// A workbench that skips the saturation unrolling, preserving the
+    /// generator's natural small bodies. The exact branch-and-bound
+    /// certifier is exponential in body size, so the optimality audit
+    /// works on this preset's small loops (see [`Workbench::small_slice`]).
+    #[must_use]
+    pub fn unsaturated() -> Self {
+        Self {
+            saturation_ops: 1,
+            ..Self::default()
+        }
+    }
 }
 
 /// A collection of loops with execution-time weights that sum to 1.
@@ -148,6 +160,19 @@ impl Workbench {
     pub fn total_operations(&self) -> usize {
         self.loops.iter().map(Loop::body_size).sum()
     }
+
+    /// The loops whose bodies have at most `max_nodes` operations — the
+    /// slice small enough for the exact certifier to decide within its
+    /// default budget. Pair with [`WorkbenchParams::unsaturated`]; the
+    /// default workbench unrolls everything to ≥ `saturation_ops` and
+    /// leaves this slice nearly empty.
+    #[must_use]
+    pub fn small_slice(&self, max_nodes: usize) -> Vec<&Loop> {
+        self.loops
+            .iter()
+            .filter(|lp| lp.body_size() <= max_nodes)
+            .collect()
+    }
 }
 
 /// Unroll a loop until its body has at least `saturation_ops` operations.
@@ -227,6 +252,26 @@ mod tests {
     #[test]
     fn paper_scale_matches_the_papers_loop_count() {
         assert_eq!(WorkbenchParams::paper_scale().loops, 1258);
+    }
+
+    #[test]
+    fn unsaturated_workbench_keeps_a_small_slice() {
+        let wb = Workbench::generate(&WorkbenchParams {
+            loops: 60,
+            ..WorkbenchParams::unsaturated()
+        });
+        let slice = wb.small_slice(12);
+        assert!(
+            !slice.is_empty(),
+            "the unsaturated mix must contain certifiable small loops"
+        );
+        assert!(slice.iter().all(|lp| lp.body_size() <= 12));
+        // The default (saturating) workbench unrolls these bodies away.
+        let saturated = Workbench::generate(&WorkbenchParams {
+            loops: 60,
+            ..Default::default()
+        });
+        assert!(saturated.small_slice(12).len() < slice.len());
     }
 
     #[test]

@@ -48,7 +48,10 @@ use std::fmt;
 /// Bump this when the payload encoding of any snapshot type changes;
 /// decoders reject other versions with [`SnapError::UnsupportedVersion`]
 /// rather than misinterpreting old bytes.
-pub const FORMAT_VERSION: u16 = 1;
+///
+/// History: 1 — initial format; 2 — `SearchMeta` gained the optimality
+/// proof and `SearchConfig` the exact certification budget.
+pub const FORMAT_VERSION: u16 = 2;
 
 /// Envelope magic for [`MachineConfig`] snapshots.
 pub const MACHINE_MAGIC: [u8; 4] = *b"MMCH";

@@ -18,8 +18,9 @@
 //!
 //! Flags: `--loops N` (workbench size, default 60; `MIRS_SCHEDTIME_LOOPS`
 //! is honoured too), `--configs KxR,…` (paper configurations, default
-//! `1x64,2x32,4x16`), `--strategy linear|backtrack|perturb` (default: the
-//! `MIRS_STRATEGY` environment), `--passes N` (default 2: cold + warm),
+//! `1x64,2x32,4x16`), `--strategy linear|perturb|backtrack|exact`
+//! (default: the `MIRS_STRATEGY` environment), `--passes N` (default 2:
+//! cold + warm),
 //! `--cache-dir DIR` (default: `MIRS_CACHE_DIR`), `--jobs N`, `--quiet`
 //! (summary lines only), and `--assert-warm-all-hits` (exit non-zero
 //! unless the last pass was served entirely from the cache — the CI
@@ -89,13 +90,20 @@ fn main() {
     let quiet = flag_set("quiet");
     let strategy = match flag_arg("strategy") {
         Some(name) => SearchStrategyKind::parse(&name).unwrap_or_else(|| {
-            eprintln!("unknown strategy '{name}' (expected linear|backtrack|perturb)");
+            // Derived from the tier ladder so a new strategy shows up here
+            // without anyone remembering to edit a string.
+            let expected = SearchStrategyKind::ALL.map(|s| s.label()).join("|");
+            eprintln!("unknown strategy '{name}' (expected {expected})");
             std::process::exit(2);
         }),
         None => SearchConfig::from_env().strategy,
     };
-    let search =
-        SearchConfig::for_strategy(strategy).with_branch_jobs(SearchConfig::from_env().branch_jobs);
+    // Keep the env-derived knobs (branch_jobs, exact_budget); only the
+    // strategy is overridden by the flag.
+    let search = SearchConfig {
+        strategy,
+        ..SearchConfig::from_env()
+    };
     let machines: Vec<MachineConfig> = flag_arg("configs")
         .unwrap_or_else(|| "1x64,2x32,4x16".to_string())
         .split(',')

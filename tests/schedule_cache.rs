@@ -89,6 +89,75 @@ fn backtracking_upgrades_linear_entries() {
     }
 }
 
+/// The exact tier sits on top of the ladder: an exact pass refines cached
+/// backtracking entries in place (it reproduces backtracking's schedule,
+/// so the metric ties and the higher tier wins), after which one entry —
+/// now carrying its optimality proof — serves every strategy warm.
+#[test]
+fn exact_refines_backtrack_entries_and_serves_the_whole_ladder() {
+    let cache = tmp_cache("exact-tier");
+    let wb = small_wb(6);
+    let machine = MachineConfig::paper_config(4, 16).unwrap();
+    let backtrack = SearchConfig::backtracking();
+    let exact = SearchConfig::exact();
+
+    for lp in wb.loops() {
+        let key = cache_key(
+            lp,
+            &machine,
+            SchedulerKind::MirsC,
+            PrefetchPolicy::HitLatency,
+            &backtrack,
+        );
+        // The certification budget is not part of the key either.
+        assert_eq!(
+            key,
+            cache_key(
+                lp,
+                &machine,
+                SchedulerKind::MirsC,
+                PrefetchPolicy::HitLatency,
+                &exact.with_exact_budget(17),
+            )
+        );
+        let br = MirsScheduler::new(&machine, SchedulerOptions::default().with_search(backtrack))
+            .schedule(lp)
+            .expect("backtracking converges");
+        assert_eq!(cache.store(key, &br), StoreOutcome::Inserted);
+        // A backtrack entry does not serve exact requests...
+        assert!(cache.lookup(key, SearchStrategyKind::Exact).is_none());
+
+        let er = MirsScheduler::new(&machine, SchedulerOptions::default().with_search(exact))
+            .schedule(lp)
+            .expect("exact converges");
+        assert_eq!(
+            er.schedule_hash(),
+            br.schedule_hash(),
+            "{}: the exact climb must tie backtracking's schedule",
+            lp.name
+        );
+        assert_eq!(
+            cache.store(key, &er),
+            StoreOutcome::Refined,
+            "{}: exact must upgrade the backtrack entry in place",
+            lp.name
+        );
+        // ...but the refined entry serves the whole ladder, proof intact.
+        for requested in SearchStrategyKind::ALL {
+            let served = cache.lookup(key, requested).unwrap();
+            assert_eq!(served.search.strategy, SearchStrategyKind::Exact);
+            assert_eq!(served.schedule_hash(), er.schedule_hash());
+            assert!(
+                served.certified_lower_bound().is_some(),
+                "{}: the proof must survive the cache round trip",
+                lp.name
+            );
+        }
+        // Neither heuristic can downgrade the certified entry.
+        assert_eq!(cache.store(key, &br), StoreOutcome::Kept);
+    }
+}
+
 /// A warm second workbench pass is 100% hits, performs zero scheduling
 /// attempts and reproduces every schedule hash of an uncached reference
 /// run byte-identically — the headline acceptance criterion.

@@ -19,7 +19,8 @@
 use harness::sweep::BranchPool;
 use loopgen::{Workbench, WorkbenchParams};
 use mirs::{
-    MirsScheduler, SchedScratch, ScheduleResult, SchedulerOptions, SearchConfig, SearchStrategyKind,
+    MirsScheduler, SchedScratch, ScheduleResult, SchedulerOptions, SearchConfig, SearchProof,
+    SearchStrategyKind,
 };
 use proptest::prelude::*;
 use vliw::MachineConfig;
@@ -149,6 +150,7 @@ fn every_strategy_is_deterministic() {
         SearchConfig::linear(),
         SearchConfig::backtracking(),
         SearchConfig::perturbed(),
+        SearchConfig::exact(),
     ] {
         for lp in wb.loops() {
             let a = schedule(&machine, lp, cfg, &mut scratch);
@@ -317,6 +319,74 @@ fn branch_parallel_not_converged_matches_serial() {
                 "{}: branch_jobs={branch_jobs} returned {err:?}",
                 lp.name
             );
+        }
+    }
+}
+
+/// `Exact` is the backtracking climb with a certification phase in front:
+/// at the converged II the schedules are byte-identical (the cache's
+/// tier-3 metric-tie refinement depends on this), and the result carries a
+/// non-heuristic [`SearchProof`] whose bound never exceeds the achieved II
+/// — the soundness contract of the relaxation.
+#[test]
+fn exact_matches_backtracking_and_stamps_a_sound_proof() {
+    let wb = workbench(12);
+    let mut scratch = SchedScratch::new();
+    for (k, regs) in [(1u32, 64u32), (4, 16)] {
+        let machine = MachineConfig::paper_config(k, regs).unwrap();
+        for lp in wb.loops() {
+            let bt = schedule(&machine, lp, SearchConfig::backtracking(), &mut scratch);
+            let ex = schedule(&machine, lp, SearchConfig::exact(), &mut scratch);
+            assert_eq!(ex.search.strategy, SearchStrategyKind::Exact);
+            assert_eq!(
+                ex.schedule_hash(),
+                bt.schedule_hash(),
+                "{}/{}: the exact climb must reproduce backtracking's schedule",
+                machine.name(),
+                lp.name
+            );
+            // Heuristic results carry no proof; exact always certifies.
+            assert_eq!(bt.search.proof, SearchProof::Heuristic);
+            assert!(bt.certified_lower_bound().is_none());
+            assert_ne!(ex.search.proof, SearchProof::Heuristic);
+            let lb = ex.certified_lower_bound().expect("exact always certifies");
+            assert!(
+                lb <= ex.ii && lb <= bt.ii,
+                "{}/{}: certified bound {} exceeds an achieved II ({} exact, {} backtrack)",
+                machine.name(),
+                lp.name,
+                lb,
+                ex.ii,
+                bt.ii
+            );
+            if ex.search.proof.is_optimal() {
+                assert_eq!(lb, ex.ii, "optimal means the achieved II is the bound");
+            }
+        }
+    }
+}
+
+/// A zero certification budget cannot decide anything: the proof degrades
+/// to `BudgetExhausted` at the MII — never a fabricated `Optimal`.
+#[test]
+fn zero_exact_budget_degrades_the_proof_honestly() {
+    let wb = workbench(4);
+    let machine = MachineConfig::paper_config(2, 32).unwrap();
+    let mut scratch = SchedScratch::new();
+    for lp in wb.loops() {
+        let r = schedule(
+            &machine,
+            lp,
+            SearchConfig::exact().with_exact_budget(0),
+            &mut scratch,
+        );
+        match r.search.proof {
+            // With no budget the certifier stops at the MII undecided; the
+            // climb can still *achieve* the MII, which proves optimality
+            // without spending certification work.
+            SearchProof::Optimal => assert_eq!(r.ii, r.mii),
+            SearchProof::BudgetExhausted(lb) => assert!(lb <= r.ii),
+            other => panic!("{}: unexpected proof {other}", lp.name),
         }
     }
 }

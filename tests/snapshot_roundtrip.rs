@@ -196,6 +196,7 @@ fn cross_strategy_results_share_the_codec() {
         SearchConfig::default(),
         SearchConfig::backtracking(),
         SearchConfig::perturbed(),
+        SearchConfig::exact(),
     ] {
         let result = MirsScheduler::new(&machine, SchedulerOptions::default().with_search(search))
             .schedule(&lp)
@@ -203,5 +204,32 @@ fn cross_strategy_results_share_the_codec() {
         let back = decode_result(&encode_result(&result)).unwrap();
         assert_eq!(back.search.strategy, search.strategy);
         assert_eq!(back.schedule_hash(), result.schedule_hash());
+        assert_eq!(
+            back.search.proof, result.search.proof,
+            "the optimality proof must survive the MRES round trip"
+        );
+        assert_eq!(back.certified_lower_bound(), result.certified_lower_bound());
     }
+}
+
+/// An exact result's proof is substantive after the round trip: the
+/// decoded entry still certifies a bound no larger than its achieved II,
+/// so a warm cache hit carries the same optimality evidence as the fresh
+/// run that produced it.
+#[test]
+fn exact_proofs_round_trip_with_their_bounds() {
+    let lp = synthetic_loop(23, 6, 2, 1);
+    let machine = MachineConfig::paper_config(1, 64).unwrap();
+    let result = MirsScheduler::new(
+        &machine,
+        SchedulerOptions::default().with_search(SearchConfig::exact()),
+    )
+    .schedule(&lp)
+    .expect("schedulable");
+    let lb = result.certified_lower_bound().expect("exact certifies");
+    let back = decode_result(&encode_result(&result)).unwrap();
+    assert_eq!(back.certified_lower_bound(), Some(lb));
+    assert!(lb <= back.ii);
+    // Canonical: the proof feeds the encoding deterministically.
+    assert_eq!(encode_result(&back), encode_result(&result));
 }
