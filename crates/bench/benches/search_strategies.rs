@@ -72,6 +72,29 @@ fn bench(c: &mut Criterion) {
             std::hint::black_box(summary.sum_ii(|_| true))
         })
     });
+    // Warm-start restart salvage: failed canonical attempts hand their
+    // surviving placements to the next II instead of rescheduling from
+    // scratch. Trending these next to the cold rows pins the restart
+    // speedup on the register-starved 4x16 configuration.
+    for (name, base) in [
+        ("linear_salvage_4x16", SearchConfig::linear()),
+        ("backtrack_salvage_4x16", SearchConfig::backtracking()),
+    ] {
+        let salvage_search = base.with_salvage(true);
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let summary = run_workbench_opts(
+                    &exec,
+                    &wb,
+                    &machine,
+                    SchedulerKind::MirsC,
+                    PrefetchPolicy::HitLatency,
+                    salvage_search,
+                );
+                std::hint::black_box(summary.sum_ii(|_| true))
+            })
+        });
+    }
     g.finish();
 }
 

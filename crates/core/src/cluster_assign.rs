@@ -154,6 +154,25 @@ impl SchedState<'_, '_> {
             let Some(producer) = self.graph.value(v).producer else {
                 continue;
             };
+            // Stale binding: `node` was once rewired onto a move headed for
+            // a cluster it is no longer targeting, and that move is not
+            // scheduled (ejections leave such bindings behind; the restart
+            // salvage's mass evictions make them common). The move's
+            // destination is fixed by its route and moves never run an
+            // export pass, so leaving the binding would let `node` schedule
+            // here while its operand materialises in the old cluster. Undo
+            // the rewiring and import from the root value instead.
+            let (v, producer) = if self.graph.op(producer).opcode.is_move()
+                && self.sched.cluster_of(producer).is_none()
+                && self.move_route.get(&producer).map(|&(_, d)| d) != Some(cluster)
+            {
+                match self.unwire_stale_move(node, v, producer) {
+                    Some(root) => root,
+                    None => continue,
+                }
+            } else {
+                (v, producer)
+            };
             let Some(pcluster) = self.sched.cluster_of(producer) else {
                 continue;
             };
@@ -252,6 +271,57 @@ impl SchedState<'_, '_> {
         self.memo.invalidate(value);
         self.memo.invalidate(copy);
         mv
+    }
+
+    /// Undo a [`SchedState::rewire_consumer`]: detach `consumer` from the
+    /// copy value of move `mv` and wire it back to the move's root value
+    /// (operand list, flow edges and the pressure/memo dirty marks). If the
+    /// move is left without consumers it is removed outright. Returns the
+    /// root value and its producer for the caller's import logic, or `None`
+    /// when the root has no producer to import from.
+    fn unwire_stale_move(
+        &mut self,
+        consumer: NodeId,
+        copy: ValueId,
+        mv: NodeId,
+    ) -> Option<(ValueId, NodeId)> {
+        let NodeOrigin::Move { value: root } = self.graph.op(mv).origin else {
+            return None;
+        };
+        // Detach the mv -> consumer flow (remembering the iteration
+        // distance the rewiring preserved).
+        let mut distance = 0;
+        let mut to_remove = Vec::new();
+        for e in self.graph.in_edges(consumer) {
+            let edge = *self.graph.edge(e);
+            if edge.from == mv && edge.value == Some(copy) {
+                distance = edge.distance;
+                to_remove.push(e);
+            }
+        }
+        for e in to_remove {
+            self.graph.remove_edge(e);
+        }
+        self.graph.replace_src(consumer, copy, root);
+        let producer = self.graph.value(root).producer;
+        if let Some(p) = producer {
+            let already = self.graph.in_edges(consumer).iter().any(|&e| {
+                let edge = self.graph.edge(e);
+                edge.from == p && edge.value == Some(root)
+            });
+            if !already && p != consumer {
+                self.graph.add_flow(p, consumer, root, distance);
+            }
+        }
+        self.pressure.mark_value(copy);
+        self.pressure.mark_value(root);
+        self.memo.invalidate(copy);
+        self.memo.invalidate(root);
+        if self.graph.consumer_ids(copy).is_empty() {
+            // Nobody reads the copy any more: drop the move entirely.
+            self.remove_move(mv);
+        }
+        producer.map(|p| (root, p))
     }
 
     /// Rewire `consumer` so it reads the value defined by move `mv` instead

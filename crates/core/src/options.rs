@@ -53,6 +53,18 @@ pub const BRANCH_JOBS_ENV: &str = "MIRS_BRANCH_JOBS";
 /// [`SearchConfig::DEFAULT_EXACT_BUDGET`].
 pub const EXACT_BUDGET_ENV: &str = "MIRS_EXACT_BUDGET";
 
+/// Environment variable enabling restart salvage ([`SearchConfig::salvage`])
+/// for the harness entry points: any value but `0` turns it on. Default off
+/// — the cold climb stays byte-identical to the golden schedule hashes.
+pub const SALVAGE_ENV: &str = "MIRS_SALVAGE";
+
+/// Environment variable enabling the salvage audit: when restart salvage is
+/// active, every scheduled loop is re-run with salvage disabled and the
+/// salvaged search must converge at an II no worse than the cold climb
+/// (both results must also validate). Any value but `0` turns it on; it is
+/// a no-op unless salvage itself is enabled.
+pub const SALVAGE_AUDIT_ENV: &str = "MIRS_SALVAGE_AUDIT";
+
 /// Which engine drives the search over candidate IIs.
 ///
 /// The strategy only decides *which* (II, priority-order) attempts are made
@@ -185,6 +197,18 @@ pub struct SearchConfig {
     /// change which schedule is produced — only how much of the lower bound
     /// is certified — so it is excluded from the cache key.
     pub exact_budget: u64,
+    /// Warm-start failed II restarts instead of rescheduling from scratch:
+    /// when the canonical attempt at an II fails, its surviving placements
+    /// are remapped into the next II's residue space (same absolute cycles,
+    /// so every dependence among kept pairs still holds — raising the II
+    /// only widens cross-iteration windows), only the ops whose MRT slots
+    /// fold into a conflict at the new II are evicted, and the placement
+    /// loop re-enters over that conflict tail in priority order. Should the
+    /// warm probe fail, the driver falls back to the ordinary cold attempt
+    /// at the same II, so the accepted II is never worse than the cold
+    /// climb's. Default off: the cold search stays byte-identical to the
+    /// golden schedule hashes.
+    pub salvage: bool,
 }
 
 impl Default for SearchConfig {
@@ -197,6 +221,7 @@ impl Default for SearchConfig {
             seed: 0x5eed_1e55_c0de_2026,
             branch_jobs: 1,
             exact_budget: Self::DEFAULT_EXACT_BUDGET,
+            salvage: false,
         }
     }
 }
@@ -283,10 +308,17 @@ impl SearchConfig {
         self
     }
 
-    /// Configuration selected by the `MIRS_STRATEGY`, `MIRS_BRANCH_JOBS`
-    /// and `MIRS_EXACT_BUDGET` environment variables (default parameters
-    /// for the named strategy; [`SearchConfig::default`] when unset or
-    /// unparsable).
+    /// Builder-style setter for restart salvage.
+    #[must_use]
+    pub fn with_salvage(mut self, salvage: bool) -> Self {
+        self.salvage = salvage;
+        self
+    }
+
+    /// Configuration selected by the `MIRS_STRATEGY`, `MIRS_BRANCH_JOBS`,
+    /// `MIRS_EXACT_BUDGET` and `MIRS_SALVAGE` environment variables
+    /// (default parameters for the named strategy;
+    /// [`SearchConfig::default`] when unset or unparsable).
     ///
     /// The variables are read once per process — sweeps consult this per
     /// scheduled loop and `std::env::var` takes a lock.
@@ -295,6 +327,7 @@ impl SearchConfig {
         static KIND: std::sync::OnceLock<SearchStrategyKind> = std::sync::OnceLock::new();
         static BRANCH_JOBS: std::sync::OnceLock<u32> = std::sync::OnceLock::new();
         static EXACT_BUDGET: std::sync::OnceLock<u64> = std::sync::OnceLock::new();
+        static SALVAGE: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
         let kind = *KIND.get_or_init(|| {
             std::env::var(STRATEGY_ENV)
                 .ok()
@@ -314,9 +347,15 @@ impl SearchConfig {
                 .and_then(|v| v.parse::<u64>().ok())
                 .unwrap_or(Self::DEFAULT_EXACT_BUDGET)
         });
+        let salvage = *SALVAGE.get_or_init(|| {
+            std::env::var(SALVAGE_ENV)
+                .map(|v| v != "0")
+                .unwrap_or(false)
+        });
         Self::for_strategy(kind)
             .with_branch_jobs(branch_jobs)
             .with_exact_budget(exact_budget)
+            .with_salvage(salvage)
     }
 }
 
@@ -460,6 +499,7 @@ mod tests {
         assert!(o.enable_backtracking);
         assert_eq!(o.prefetch, PrefetchPolicy::HitLatency);
         assert_eq!(o.search.strategy, SearchStrategyKind::Linear);
+        assert!(!o.search.salvage, "salvage is opt-in");
         assert_eq!(SchedulerOptions::paper(), o);
     }
 
@@ -505,7 +545,8 @@ mod tests {
             .with_retries(7)
             .with_seed(42)
             .with_branch_jobs(0)
-            .with_exact_budget(123);
+            .with_exact_budget(123)
+            .with_salvage(true);
         assert_eq!(cfg.strategy, SearchStrategyKind::Backtracking);
         assert_eq!(cfg.branches, 5);
         assert_eq!(cfg.ii_window, 1, "window clamps to at least 1");
@@ -513,6 +554,8 @@ mod tests {
         assert_eq!(cfg.seed, 42);
         assert_eq!(cfg.branch_jobs, 1, "branch jobs clamp to at least 1");
         assert_eq!(cfg.exact_budget, 123);
+        assert!(cfg.salvage);
+        assert!(!SearchConfig::default().salvage);
         assert_eq!(
             SearchConfig::exact().strategy,
             SearchStrategyKind::Exact,

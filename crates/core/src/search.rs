@@ -52,7 +52,9 @@
 use crate::error::ScheduleError;
 use crate::options::{SearchConfig, SearchStrategyKind};
 use crate::result::{ScheduleResult, SchedulerStats, SearchMeta, SearchProof};
-use crate::scheduler::{debug_enabled, graph_audit_enabled, AttemptOutcome, MirsScheduler};
+use crate::scheduler::{
+    debug_enabled, graph_audit_enabled, AttemptOutcome, MirsScheduler, SalvageState,
+};
 use crate::scratch::SchedScratch;
 use ddg::{hrms, mii, CheckpointStack, DepGraph, Loop, NodeId};
 use std::sync::Mutex;
@@ -476,6 +478,50 @@ fn accumulate(into: &mut SchedulerStats, delta: &SchedulerStats) {
 /// strategy, far above anything the shipped strategies can reach.
 const MAX_ATTEMPTS_FLOOR: u32 = 4096;
 
+/// Per-loop warm-probe quota: after this many *failed* warm probes the
+/// driver stops capturing failures and the rest of the search runs purely
+/// cold. A probe failure means the failed attempt's surviving placement
+/// did not transfer to the next II — on such loops (wedged ejection
+/// basins) further probes almost never recover, so the quota caps the
+/// total warm-start overhead at a couple of O(conflict-tail) probes and
+/// graph clones per loop. Loops whose basins do transfer succeed on the
+/// first probe and never spend the quota.
+const SALVAGE_PROBE_QUOTA: u32 = 2;
+
+/// A captured canonical failure waiting to warm-start the next candidate
+/// II ([`SearchConfig::salvage`]).
+///
+/// The graph is an owned clone taken *before* the attempt's transaction
+/// was rolled back, so the spill/move edits of the failed attempt — which
+/// the [`SalvageState`]'s node and value ids refer to — survive in it.
+/// The warm probe runs entirely on this clone, outside the driver's
+/// checkpoint stack; the transactional working graph and its rollback
+/// audit never see salvage.
+struct PendingSalvage {
+    graph: DepGraph,
+    state: SalvageState,
+}
+
+/// What [`SearchDriver::run_warm_probe`] did with a pending salvage.
+///
+/// The size skew between the variants is fine: exactly one value exists
+/// at a time, on the stack, consumed by the caller in the same expression.
+#[allow(clippy::large_enum_variant)]
+enum WarmProbe {
+    /// The probe succeeded and stood in for the canonical attempt at this
+    /// II — `Some` is an accepted-in-place result, `None` means the
+    /// search continues. No cold attempt runs at this II. Because every
+    /// smaller II already received its genuine cold attempt (a probe
+    /// failure never skips one), accepting a probe success can only match
+    /// or beat the II the cold climb would have reached.
+    Handled(Option<ScheduleResult>),
+    /// The probe failed. Fall through to the ordinary cold attempt at
+    /// this same II — the warm start adds at most the probe's
+    /// O(conflict-tail) cost on top of the cold search it leaves intact,
+    /// and one unit of the per-loop [`SALVAGE_PROBE_QUOTA`] is spent.
+    Fallthrough,
+}
+
 /// The engine running a [`SearchStrategy`] over one loop.
 ///
 /// Owns the working graph (the one clone of the whole search), the nested
@@ -515,6 +561,21 @@ pub(crate) struct SearchDriver<'a, 'm> {
     carried: SchedulerStats,
     view: SearchView,
     best: Option<Candidate>,
+    /// Whether failed canonical attempts are captured for warm-starting
+    /// the next candidate II ([`SearchConfig::salvage`]).
+    salvage: bool,
+    /// The captured failure awaiting the next canonical attempt.
+    pending: Option<PendingSalvage>,
+    /// Remaining failed warm probes this loop may afford
+    /// ([`SALVAGE_PROBE_QUOTA`]); at zero the driver stops capturing
+    /// failures and the search stays cold.
+    probe_quota: u32,
+    /// Survivor placements kept verbatim across warm probes
+    /// (`SearchMeta::salvaged_ops`).
+    salvaged_ops: u32,
+    /// Survivors evicted by the re-fold and re-placed from the priority
+    /// list (`SearchMeta::replaced_ops`).
+    replaced_ops: u32,
     /// Certified lower bound from the exact bounding phase (`None` for
     /// heuristic strategies); turned into the result's [`SearchProof`].
     bound: Option<exact::CertifiedBound>,
@@ -601,6 +662,11 @@ impl<'a, 'm> SearchDriver<'a, 'm> {
             carried: SchedulerStats::default(),
             view,
             best: None,
+            salvage: opts.search.salvage,
+            pending: None,
+            probe_quota: SALVAGE_PROBE_QUOTA,
+            salvaged_ops: 0,
+            replaced_ops: 0,
             bound: None,
             deferred: None,
         }
@@ -808,6 +874,9 @@ impl<'a, 'm> SearchDriver<'a, 'm> {
                     debug,
                     scratch,
                     &mut delta,
+                    // Salvage routes through the serial driver; branches
+                    // never capture their failures.
+                    None,
                 );
                 let (result, spill_ops, moves) = match outcome {
                     AttemptOutcome::Restart => (None, 0, 0),
@@ -886,6 +955,20 @@ impl<'a, 'm> SearchDriver<'a, 'm> {
             self.order = hrms::hrms_order(&self.graph, self.sched.machine().latencies());
             self.order_epoch = self.graph.structural_epoch();
         }
+        // Warm-start probe: before the canonical cold attempt at this II,
+        // try to finish the previous canonical failure's surviving
+        // placement, re-folded into this II's residue space. A successful
+        // probe stands in for the cold attempt; a failed probe falls
+        // through to it, so the cold climb below keeps its verdict at
+        // every II and the accepted II can never exceed the cold search's.
+        if seed.is_none() {
+            if let Some(pending) = self.pending.take() {
+                match self.run_warm_probe(strategy, ii, pending)? {
+                    WarmProbe::Handled(done) => return Ok(done),
+                    WarmProbe::Fallthrough => {}
+                }
+            }
+        }
         // Candidate-II group level of the checkpoint tree (depth 2): the
         // first attempt at a new II opens a fresh group branch.
         if self.group_ii != Some(ii) {
@@ -916,6 +999,7 @@ impl<'a, 'm> SearchDriver<'a, 'm> {
             None => &self.order,
         };
         let attempt_start = Instant::now();
+        let mut captured: Option<SalvageState> = None;
         let outcome = self.sched.attempt(
             &mut self.graph,
             order,
@@ -924,12 +1008,25 @@ impl<'a, 'm> SearchDriver<'a, 'm> {
             self.debug,
             self.scratch,
             &mut self.carried,
+            if self.salvage && seed.is_none() && self.probe_quota > 0 {
+                Some(&mut captured)
+            } else {
+                None
+            },
         );
         let attempt_secs = attempt_start.elapsed().as_secs_f64();
         self.attempt_secs += attempt_secs;
         self.group_max_secs = self.group_max_secs.max(attempt_secs);
         match outcome {
             AttemptOutcome::Restart => {
+                if let Some(state) = captured.take() {
+                    // Clone the post-failure graph *before* the rollback:
+                    // the captured buffers index into its spill/move nodes.
+                    self.pending = Some(PendingSalvage {
+                        graph: self.graph.clone(),
+                        state,
+                    });
+                }
                 self.cps.abandon(&mut self.graph);
                 self.audit_rollback(&audit_base, ii);
                 self.failures += 1;
@@ -1002,6 +1099,132 @@ impl<'a, 'm> SearchDriver<'a, 'm> {
         }
     }
 
+    /// Run the warm-start probe for a pending salvage at candidate `ii`:
+    /// re-fold the captured partial schedule into the new II's residue
+    /// space on the captured (owned) graph and finish the placement over
+    /// the conflict tail.
+    ///
+    /// The probe lives entirely outside the checkpoint stack — the
+    /// transactional working graph is untouched, so the rollback audit
+    /// keeps its meaning. A successful probe *replaces* the canonical
+    /// attempt at `ii`; a failed one costs O(conflict-tail) — its budget
+    /// is scaled to the tail, not the operation count — spends one unit
+    /// of the probe quota, and hands the II back to the ordinary cold
+    /// attempt. The cold climb therefore keeps its verdict at every II
+    /// and the warm start can only lower the accepted II, never raise
+    /// it — monotone or not, feasibility holes included.
+    fn run_warm_probe(
+        &mut self,
+        strategy: &mut dyn SearchStrategy,
+        ii: u32,
+        pending: PendingSalvage,
+    ) -> Result<WarmProbe, ScheduleError> {
+        let PendingSalvage { mut graph, state } = pending;
+        self.last_ii = self.last_ii.max(ii);
+        self.attempts += 1;
+        let attempt_index = self.attempts;
+        // The probe graph's structure differs from the search root (the
+        // failed attempt's spill/move edits survive in it): re-anchor the
+        // memo to it for the probe's duration.
+        self.scratch
+            .spill_memo_mut()
+            .begin_loop(&graph, graph.structural_epoch());
+        self.scratch.spill_memo_mut().begin_attempt();
+        let attempt_start = Instant::now();
+        let (outcome, salvaged, evicted) = self.sched.attempt_salvaged(
+            &mut graph,
+            state,
+            ii,
+            self.mem_ops_base,
+            self.debug,
+            self.scratch,
+            &mut self.carried,
+        );
+        let attempt_secs = attempt_start.elapsed().as_secs_f64();
+        self.attempt_secs += attempt_secs;
+        self.group_max_secs = self.group_max_secs.max(attempt_secs);
+        self.salvaged_ops += salvaged;
+        self.replaced_ops += evicted;
+        if self.debug {
+            eprintln!(
+                "SALVAGE: loop '{}' ii={ii} salvaged={salvaged} evicted={evicted} -> {}",
+                self.lp.name,
+                if matches!(outcome, AttemptOutcome::Success(_)) {
+                    "success"
+                } else {
+                    "fell back cold"
+                },
+            );
+        }
+        match outcome {
+            AttemptOutcome::Restart => {
+                self.probe_quota -= 1;
+                // Whatever comes next runs on the root graph again. The
+                // probe's graph clone and buffers are already reclaimed;
+                // no attempt report is filed here — the cold attempt at
+                // this same II files its own.
+                self.scratch
+                    .spill_memo_mut()
+                    .begin_loop(&self.graph, self.order_epoch);
+                drop(graph);
+                Ok(WarmProbe::Fallthrough)
+            }
+            AttemptOutcome::Success(st) => {
+                let spill_ops = st.spill_op_count();
+                let key = CandidateKey {
+                    ii,
+                    spill_ops,
+                    moves: st.move_op_count(),
+                    attempt: attempt_index,
+                };
+                let became_best = self.best.as_ref().is_none_or(|b| key < b.key);
+                self.successes += 1;
+                self.view.attempts = self.attempts;
+                self.view.last = Some(AttemptReport {
+                    ii,
+                    seed: None,
+                    success: true,
+                    spill_ops,
+                    became_best,
+                });
+                if became_best {
+                    self.view.best = Some((ii, spill_ops));
+                }
+                let mv = strategy.next_move(&self.view);
+                if became_best {
+                    // The probe owns its graph outright, so packaging the
+                    // result takes it without a clone either way.
+                    let mut result = st.into_result(self.scratch, &self.lp.name, self.mii, true);
+                    result.stats.restarts = self.failures;
+                    if mv == SearchMove::Accept {
+                        self.cps.clear();
+                        return Ok(WarmProbe::Handled(Some(
+                            self.finish(strategy.kind(), result),
+                        )));
+                    }
+                    self.best = Some(Candidate { key, result });
+                } else {
+                    st.reclaim_into(self.scratch);
+                }
+                // Whatever comes next runs on the root graph again.
+                self.scratch
+                    .spill_memo_mut()
+                    .begin_loop(&self.graph, self.order_epoch);
+                match mv {
+                    SearchMove::Accept | SearchMove::GiveUp => self
+                        .accept(strategy.kind())
+                        .map(Some)
+                        .map(WarmProbe::Handled),
+                    next => {
+                        debug_assert!(self.deferred.is_none());
+                        self.deferred = Some(next);
+                        Ok(WarmProbe::Handled(None))
+                    }
+                }
+            }
+        }
+    }
+
     /// Record a finished attempt in the strategy-facing view.
     fn record(&mut self, report: AttemptReport) {
         self.view.attempts = self.attempts;
@@ -1026,6 +1249,11 @@ impl<'a, 'm> SearchDriver<'a, 'm> {
 
     /// Accept the best stashed candidate, or fail with `NotConverged`.
     fn accept(&mut self, kind: SearchStrategyKind) -> Result<ScheduleResult, ScheduleError> {
+        if let Some(p) = self.pending.take() {
+            // The salvage opportunity expired unconsumed (the search ends
+            // before another canonical attempt); recycle its buffers.
+            p.state.discard(self.scratch);
+        }
         match self.best.take() {
             Some(c) => Ok(self.finish(kind, c.result)),
             None => Err(ScheduleError::NotConverged {
@@ -1037,6 +1265,11 @@ impl<'a, 'm> SearchDriver<'a, 'm> {
 
     /// Stamp the accepted result with timing and search metadata.
     fn finish(&mut self, kind: SearchStrategyKind, mut result: ScheduleResult) -> ScheduleResult {
+        if let Some(p) = self.pending.take() {
+            // An in-place accept can end the search while a captured
+            // canonical failure is still pending; recycle its buffers.
+            p.state.discard(self.scratch);
+        }
         result.stats.scheduling_seconds = self.start.elapsed().as_secs_f64();
         let proof = match self.bound {
             None => SearchProof::Heuristic,
@@ -1065,6 +1298,8 @@ impl<'a, 'm> SearchDriver<'a, 'm> {
             groups: self.groups,
             branch_attempt_seconds: self.attempt_secs,
             branch_critical_seconds: self.critical_secs + self.group_max_secs,
+            salvaged_ops: self.salvaged_ops,
+            replaced_ops: self.replaced_ops,
             proof,
         };
         if self.debug {

@@ -84,6 +84,7 @@ impl SnapEncode for SearchConfig {
         w.put_u64(self.seed);
         w.put_u32(self.branch_jobs);
         w.put_u64(self.exact_budget);
+        w.put_u8(u8::from(self.salvage));
     }
 }
 
@@ -97,6 +98,7 @@ impl SnapDecode for SearchConfig {
             seed: r.get_u64()?,
             branch_jobs: r.get_u32()?,
             exact_budget: r.get_u64()?,
+            salvage: r.get_u8()? != 0,
         })
     }
 }
@@ -143,6 +145,8 @@ impl SnapEncode for SearchMeta {
         w.put_u32(self.groups);
         w.put_f64(self.branch_attempt_seconds);
         w.put_f64(self.branch_critical_seconds);
+        w.put_u32(self.salvaged_ops);
+        w.put_u32(self.replaced_ops);
         self.proof.encode_snap(w);
     }
 }
@@ -156,6 +160,8 @@ impl SnapDecode for SearchMeta {
             groups: r.get_u32()?,
             branch_attempt_seconds: r.get_f64()?,
             branch_critical_seconds: r.get_f64()?,
+            salvaged_ops: r.get_u32()?,
+            replaced_ops: r.get_u32()?,
             proof: SnapDecode::decode_snap(r)?,
         })
     }
@@ -339,7 +345,8 @@ mod tests {
             .with_retries(7)
             .with_seed(42)
             .with_branch_jobs(4)
-            .with_exact_budget(9_001);
+            .with_exact_budget(9_001)
+            .with_salvage(true);
         let blob = vliw::snap::encode_blob(*b"TCFG", &cfg);
         let back: SearchConfig = vliw::snap::decode_blob(*b"TCFG", &blob).unwrap();
         assert_eq!(back, cfg);
@@ -360,6 +367,8 @@ mod tests {
                 groups: 1,
                 branch_attempt_seconds: 0.0,
                 branch_critical_seconds: 0.0,
+                salvaged_ops: 12,
+                replaced_ops: 2,
                 proof,
             };
             let blob = vliw::snap::encode_blob(*b"TMET", &meta);

@@ -12,8 +12,10 @@
 //! [`cache_key`] hashes the loop's structural fingerprint
 //! ([`ddg::snap::loop_fingerprint`]), the machine configuration name, the
 //! scheduler kind, the prefetch policy and the search parameters
-//! (`branches`, `ii_window`, `retries`, `seed`). The search **strategy**
-//! and `branch_jobs` are deliberately *excluded*: branch-parallel execution
+//! (`branches`, `ii_window`, `retries`, `seed`, `salvage` — warm-started
+//! restarts can legitimately converge at a different II than cold ones, so
+//! salvage-on and salvage-off address different entries). The search
+//! **strategy** and `branch_jobs` are deliberately *excluded*: branch-parallel execution
 //! is byte-identical to serial, and strategies form a quality ladder over
 //! the same problem, which enables the refinement rule below.
 //!
@@ -150,6 +152,7 @@ pub fn cache_key(
     w.put_u32(search.ii_window);
     w.put_u32(search.retries);
     w.put_u64(search.seed);
+    w.put_u8(u8::from(search.salvage));
     let bytes = w.into_bytes();
     let hi = fnv1a(&bytes);
     let mut salted = Vec::with_capacity(8 + bytes.len());
@@ -646,6 +649,9 @@ mod tests {
         // Everything else is.
         assert_ne!(key, problem_key(&lp, &base.with_seed(99)));
         assert_ne!(key, problem_key(&lp, &base.with_retries(9)));
+        // Salvage changes which II the search can converge at, so it must
+        // address a different entry.
+        assert_ne!(key, problem_key(&lp, &base.with_salvage(true)));
         let other_machine = MachineConfig::paper_config(4, 16).unwrap();
         assert_ne!(
             key,

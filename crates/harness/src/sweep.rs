@@ -271,18 +271,37 @@ impl SweepExecutor {
         self.chunk.min((total / (self.jobs * 4)).max(1))
     }
 
+    /// Whether a bag of `total` tasks would run on the caller's thread:
+    /// one configured worker, a single-task bag, or a nested sweep on a
+    /// saturated machine.
+    fn runs_inline(&self, total: usize) -> bool {
+        nested_worker_budget(self.jobs.min(total)) <= 1
+    }
+
     /// Run `task` over every item and return the results in item order,
     /// regardless of which worker computed what.
     ///
+    /// When the effective worker count is 1 this is a plain loop on the
+    /// caller's thread — no `catch_unwind` envelope, no completion
+    /// atomics — so a `--jobs 1` baseline measures the tasks, not the
+    /// pool plumbing, and a task panic propagates unwrapped.
+    ///
     /// # Panics
     ///
-    /// Re-raises (as a panic) the failure of any worker task.
+    /// Re-raises the failure of any worker task.
     pub fn run<I, T, F>(&self, items: &[I], task: F) -> Vec<T>
     where
         I: Sync,
         T: Send,
         F: Fn(usize, &I) -> T + Sync,
     {
+        if self.runs_inline(items.len()) {
+            return items
+                .iter()
+                .enumerate()
+                .map(|(i, item)| task(i, item))
+                .collect();
+        }
         match self.try_run_hooked(items, task, &SweepHooks::default()) {
             Ok(results) => results,
             Err(e) => panic!("{e}"),
@@ -301,9 +320,12 @@ impl SweepExecutor {
     /// types like `SchedScratch` that only carry warmed allocations satisfy
     /// this by construction.
     ///
+    /// Runs inline (plain loop, one scratch, panics unwrapped) when the
+    /// effective worker count is 1, like [`SweepExecutor::run`].
+    ///
     /// # Panics
     ///
-    /// Re-raises (as a panic) the failure of any worker task.
+    /// Re-raises the failure of any worker task.
     pub fn run_scratch<I, T, S, G, F>(&self, items: &[I], init: G, task: F) -> Vec<T>
     where
         I: Sync,
@@ -311,6 +333,14 @@ impl SweepExecutor {
         G: Fn() -> S + Sync,
         F: Fn(&mut S, usize, &I) -> T + Sync,
     {
+        if self.runs_inline(items.len()) {
+            let mut scratch = init();
+            return items
+                .iter()
+                .enumerate()
+                .map(|(i, item)| task(&mut scratch, i, item))
+                .collect();
+        }
         match self.try_run_scratch_hooked(items, init, task, &SweepHooks::default()) {
             Ok(results) => results,
             Err(e) => panic!("{e}"),
@@ -601,10 +631,15 @@ impl BranchPool {
     /// Pool for a search configuration, or `None` when the configuration
     /// has no branch-parallel work to fan out (non-`Backtracking`
     /// strategies, or `branch_jobs <= 1` — those run the serial in-process
-    /// search).
+    /// search). Restart salvage also routes serial: the warm probe reuses
+    /// the failed canonical attempt's graph, which branch fan-out would
+    /// race on, so `salvage` supersedes `branch_jobs` here exactly as it
+    /// does in the core driver.
     #[must_use]
     pub fn for_search(search: &mirs::SearchConfig) -> Option<Self> {
-        (search.strategy == mirs::SearchStrategyKind::Backtracking && search.branch_jobs > 1)
+        (search.strategy == mirs::SearchStrategyKind::Backtracking
+            && search.branch_jobs > 1
+            && !search.salvage)
             .then(|| Self::new(search.branch_jobs as usize))
     }
 
@@ -782,6 +817,30 @@ mod tests {
             assert!(x != 3, "boom");
             x
         });
+    }
+
+    #[test]
+    #[should_panic(expected = "task 3 exploded")]
+    fn inline_run_propagates_the_original_panic_unwrapped() {
+        // One effective worker: no catch_unwind envelope, so the task's
+        // own panic message surfaces instead of a SweepError wrapper.
+        let exec = SweepExecutor::serial();
+        let items: Vec<usize> = (0..8).collect();
+        let _ = exec.run(&items, |_, &x| {
+            assert!(x != 3, "task 3 exploded");
+            x
+        });
+    }
+
+    #[test]
+    fn branch_pool_is_superseded_by_restart_salvage() {
+        let branchy = mirs::SearchConfig::backtracking().with_branch_jobs(4);
+        assert!(BranchPool::for_search(&branchy).is_some());
+        assert!(
+            BranchPool::for_search(&branchy.with_salvage(true)).is_none(),
+            "salvage routes through the serial incremental driver"
+        );
+        assert!(BranchPool::for_search(&mirs::SearchConfig::linear()).is_none());
     }
 
     #[test]

@@ -50,8 +50,10 @@ use std::fmt;
 /// rather than misinterpreting old bytes.
 ///
 /// History: 1 — initial format; 2 — `SearchMeta` gained the optimality
-/// proof and `SearchConfig` the exact certification budget.
-pub const FORMAT_VERSION: u16 = 2;
+/// proof and `SearchConfig` the exact certification budget; 3 —
+/// `SearchMeta` gained the salvaged/replaced op counts and `SearchConfig`
+/// the restart-salvage flag.
+pub const FORMAT_VERSION: u16 = 3;
 
 /// Envelope magic for [`MachineConfig`] snapshots.
 pub const MACHINE_MAGIC: [u8; 4] = *b"MMCH";

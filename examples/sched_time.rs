@@ -27,6 +27,11 @@
 //! metrics pass routes through it and a `cache` column reports the pass's
 //! hits/misses/refines; the timed passes always schedule fresh — they
 //! measure the scheduler, not the disk.
+//!
+//! With `MIRS_SALVAGE=1` the II search warm-starts restarts from the
+//! failed attempt's surviving placements; the `salvage s/r` column then
+//! reports, per row, how many operations the warm probes salvaged in
+//! place (`s`) and how many they had to evict and replace (`r`).
 
 use harness::cache::ScheduleCache;
 use harness::runner::{run_workbench_opts, time_workbench_opts, SchedTimeTrial, SchedulerKind};
@@ -98,7 +103,7 @@ fn main() {
             .map_or(String::new(), |d| format!(", cache at {}", d.display()))
     );
     println!(
-        "{:<18} {:>9} {:>6} {:>9} {:>12} {:>12} {:>12} {:>14} {:>8} {:>12}",
+        "{:<18} {:>9} {:>6} {:>9} {:>12} {:>12} {:>12} {:>14} {:>8} {:>12} {:>12}",
         "config",
         "strategy",
         "ΣII",
@@ -108,16 +113,20 @@ fn main() {
         "wall (s)",
         "loops/s (wall)",
         "speedup",
-        "cache h/m/r"
+        "cache h/m/r",
+        "salvage s/r"
     );
     for (k, regs) in [(1u32, 64u32), (2, 32), (4, 16)] {
         let machine = MachineConfig::paper_config(k, regs).expect("paper config");
         for &strategy in &strategies {
-            // Keep the environment's MIRS_BRANCH_JOBS even when --strategy
-            // overrides the strategy list, so audit runs can drive the
-            // branch-parallel backtracking path through this example.
+            // Keep the environment's MIRS_BRANCH_JOBS and MIRS_SALVAGE even
+            // when --strategy overrides the strategy list, so audit runs can
+            // drive the branch-parallel and warm-start paths through this
+            // example.
+            let env_search = SearchConfig::from_env();
             let search = SearchConfig::for_strategy(strategy)
-                .with_branch_jobs(SearchConfig::from_env().branch_jobs);
+                .with_branch_jobs(env_search.branch_jobs)
+                .with_salvage(env_search.salvage);
             // The metrics pass doubles as one of the timed passes when the
             // cache is off: its wall clock and aggregate scheduling seconds
             // fold into the trial below, so the SII/spill columns cost no
@@ -155,6 +164,16 @@ fn main() {
                 .iter()
                 .map(|o| u64::from(o.spill_ops()))
                 .sum();
+            let (salvaged, replaced) = summary
+                .outcomes
+                .iter()
+                .filter_map(|o| o.result.as_ref())
+                .fold((0u64, 0u64), |(s, r), res| {
+                    (
+                        s + u64::from(res.search.salvaged_ops),
+                        r + u64::from(res.search.replaced_ops),
+                    )
+                });
             let fold_metrics_pass = !cache.is_enabled();
             let timed_repeats = if fold_metrics_pass {
                 repeats.saturating_sub(1)
@@ -195,8 +214,13 @@ fn main() {
             } else {
                 "-".to_string()
             };
+            let salvage_cell = if search.salvage {
+                format!("{salvaged}/{replaced}")
+            } else {
+                "-".to_string()
+            };
             println!(
-                "{:<18} {:>9} {:>6} {:>9} {:>12.4} {:>12.4} {:>12.4} {:>14.1} {:>7.2}x {:>12}",
+                "{:<18} {:>9} {:>6} {:>9} {:>12.4} {:>12.4} {:>12.4} {:>14.1} {:>7.2}x {:>12} {:>12}",
                 trial.config,
                 strategy.label(),
                 summary.sum_ii(|_| true),
@@ -206,7 +230,8 @@ fn main() {
                 trial.best_wall_seconds(),
                 trial.loops as f64 / trial.best_wall_seconds(),
                 trial.speedup(),
-                cache_cell
+                cache_cell,
+                salvage_cell
             );
         }
     }

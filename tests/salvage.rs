@@ -1,0 +1,169 @@
+//! Warm-start restart salvage (`SearchConfig::salvage`) invariants:
+//!
+//! * a salvaged search's accepted schedule passes the same structural
+//!   oracle as a cold one — `ScheduleResult::validate` recounts the modulo
+//!   reservation tables from the placements, re-checks every dependence
+//!   slack, operand locality and the register fit (and in debug builds the
+//!   scheduler additionally compares the incrementally rebuilt pressure
+//!   gauges against a from-scratch lifetime recomputation after every
+//!   survivor re-fold);
+//! * the cold-fallback guarantee: with salvage on, every loop converges at
+//!   an II no larger than the salvage-off search's — a failed warm probe
+//!   is always followed by an ordinary cold attempt at the same II;
+//! * salvage is deterministic and observable (`SearchMeta::salvaged_ops` /
+//!   `replaced_ops`), and with salvage off both counters are zero and the
+//!   schedules stay byte-identical to the defaults.
+
+use loopgen::{synthetic, SyntheticParams, Workbench, WorkbenchParams};
+use mirs::{MirsScheduler, SchedScratch, ScheduleResult, SchedulerOptions, SearchConfig};
+use proptest::prelude::*;
+use vliw::MachineConfig;
+
+fn schedule(
+    machine: &MachineConfig,
+    lp: &ddg::Loop,
+    search: SearchConfig,
+    scratch: &mut SchedScratch,
+) -> ScheduleResult {
+    let opts = SchedulerOptions::default().with_search(search);
+    MirsScheduler::new(machine, opts)
+        .schedule_with(lp, scratch)
+        .expect("workbench loops converge")
+}
+
+/// Salvage never converges at a larger II than the cold search, its
+/// schedules validate, and the counters only move when salvage is on —
+/// across every search strategy on the restart-heavy 4-cluster machine
+/// plus the 2-cluster paper configuration.
+#[test]
+fn salvage_converges_no_worse_than_cold_on_the_workbench() {
+    let wb = Workbench::generate(&WorkbenchParams {
+        loops: 40,
+        ..WorkbenchParams::default()
+    });
+    let mut scratch = SchedScratch::new();
+    let mut warm_probes_hit = 0u64;
+    for (k, regs) in [(2u32, 32u32), (4, 16)] {
+        let machine = MachineConfig::paper_config(k, regs).unwrap();
+        for cfg in [
+            SearchConfig::linear(),
+            SearchConfig::backtracking(),
+            SearchConfig::perturbed(),
+        ] {
+            for lp in wb.loops() {
+                let cold = schedule(&machine, lp, cfg, &mut scratch);
+                if let Err(err) = cold.validate(&machine) {
+                    panic!(
+                        "{}/{}: cold schedule fails the structural oracle: {err:?} \
+                         (regression guard: removing a move must cascade to moves \
+                         chained onto its copy)",
+                        machine.name(),
+                        lp.name
+                    );
+                }
+                assert_eq!(
+                    (cold.search.salvaged_ops, cold.search.replaced_ops),
+                    (0, 0),
+                    "{}/{}: salvage-off runs must report zero salvage counters",
+                    machine.name(),
+                    lp.name
+                );
+                let warm = schedule(&machine, lp, cfg.with_salvage(true), &mut scratch);
+                if let Err(err) = warm.validate(&machine) {
+                    panic!(
+                        "{}/{}: salvaged schedule fails the structural oracle: {err:?}",
+                        machine.name(),
+                        lp.name
+                    );
+                }
+                assert!(
+                    warm.ii <= cold.ii,
+                    "{}/{}: {} converged at II {} warm-started but II {} cold — \
+                     the cold fallback guarantee is broken",
+                    machine.name(),
+                    lp.name,
+                    cfg.strategy,
+                    warm.ii,
+                    cold.ii
+                );
+                warm_probes_hit += u64::from(warm.search.salvaged_ops);
+            }
+        }
+    }
+    assert!(
+        warm_probes_hit > 0,
+        "the clustered workbench restarts; some warm probe must salvage placements"
+    );
+}
+
+/// Salvage off is the byte-identical default: explicitly disabling it
+/// changes nothing about the schedules (the golden-hash tests pin the
+/// default; this pins that `with_salvage(false)` *is* the default).
+#[test]
+fn salvage_off_is_byte_identical_to_the_default() {
+    let wb = Workbench::generate(&WorkbenchParams {
+        loops: 12,
+        ..WorkbenchParams::default()
+    });
+    let machine = MachineConfig::paper_config(4, 16).unwrap();
+    let mut scratch = SchedScratch::new();
+    for lp in wb.loops() {
+        let default = schedule(&machine, lp, SearchConfig::linear(), &mut scratch);
+        let off = schedule(
+            &machine,
+            lp,
+            SearchConfig::linear().with_salvage(false),
+            &mut scratch,
+        );
+        assert_eq!(default.schedule_hash(), off.schedule_hash(), "{}", lp.name);
+        assert_eq!(default.search, off.search, "{}", lp.name);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, .. ProptestConfig::default() })]
+
+    /// Random loops on random machine shapes: the salvaged search always
+    /// produces a validated schedule at an II no worse than the cold one,
+    /// for both the linear climb and the branching exploration, and the
+    /// warm path is deterministic (scratch reuse included).
+    #[test]
+    fn random_loops_salvage_validates_and_never_loses(
+        seed in 0u64..500,
+        arith in 3usize..18,
+        streams in 1usize..4,
+        recurrences in 0usize..2,
+        clusters_pow in 0u32..3,
+        backtracking_sel in 0u32..2,
+    ) {
+        let params = SyntheticParams {
+            arith_ops: arith,
+            input_streams: streams,
+            output_stores: 1,
+            invariants: 1,
+            recurrences,
+            ..SyntheticParams::default()
+        };
+        let lp = synthetic::generate(&params, seed);
+        let k = 1u32 << clusters_pow;
+        let machine = MachineConfig::paper_config(k, 64 / k).unwrap();
+        let cfg = if backtracking_sel == 1 {
+            SearchConfig::backtracking()
+        } else {
+            SearchConfig::linear()
+        };
+        let mut scratch = SchedScratch::new();
+        let cold = schedule(&machine, &lp, cfg, &mut scratch);
+        let warm = schedule(&machine, &lp, cfg.with_salvage(true), &mut scratch);
+        prop_assert!(warm.validate(&machine).is_ok());
+        prop_assert!(warm.ii >= cold.mii);
+        prop_assert!(
+            warm.ii <= cold.ii,
+            "{}: warm II {} exceeds cold II {}", lp.name, warm.ii, cold.ii
+        );
+        prop_assert!(warm.memory_traffic as usize >= lp.memory_ops());
+        let again = schedule(&machine, &lp, cfg.with_salvage(true), &mut SchedScratch::new());
+        prop_assert_eq!(warm.schedule_hash(), again.schedule_hash());
+        prop_assert_eq!(warm.search, again.search);
+    }
+}
