@@ -1,0 +1,47 @@
+//! Relaxation admission filter on the pinned `loopgen::hard` cases:
+//! cold linear climbs on the register-tight 1x8/2x8 machines where the
+//! search grinds through many infeasible IIs, with the filter on and off.
+//!
+//! This is the series behind the pruning tentpole's wall-clock claim: the
+//! `<case>_prune_on` rows must stay well below their `_prune_off` twins
+//! (the filter skips the infeasible prefix of the climb without changing
+//! the schedule — byte-identity is pinned by `tests/search_strategies.rs`).
+//! The per-case means land in `target/criterion/ii_pruning/summary.json`
+//! and fold into the `bench_trend` longitudinal series.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use loopgen::hard::HARD_CASES;
+use loopgen::hard_cases;
+use mirs::{MirsScheduler, SchedulerOptions, SearchConfig};
+use vliw::MachineConfig;
+
+fn bench(c: &mut Criterion) {
+    let loops = hard_cases();
+    let mut g = c.benchmark_group("ii_pruning");
+    g.sample_size(10);
+    for (case, lp) in HARD_CASES.iter().zip(&loops) {
+        // The gaps that make these cases hard only appear on the
+        // register-tight files; `clustered-rec` was pinned on 2x8.
+        let machine = if case.name.starts_with("clustered") {
+            MachineConfig::paper_config(2, 8).unwrap()
+        } else {
+            MachineConfig::paper_config(1, 8).unwrap()
+        };
+        for (suffix, prune) in [("prune_on", true), ("prune_off", false)] {
+            let opts =
+                SchedulerOptions::default().with_search(SearchConfig::linear().with_prune(prune));
+            g.bench_function(&format!("{}_{suffix}", case.name), |b| {
+                b.iter(|| {
+                    let r = MirsScheduler::new(&machine, opts)
+                        .schedule(lp)
+                        .expect("hard cases converge");
+                    std::hint::black_box((r.ii, r.search.pruned_iis))
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

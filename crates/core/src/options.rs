@@ -65,6 +65,14 @@ pub const SALVAGE_ENV: &str = "MIRS_SALVAGE";
 /// a no-op unless salvage itself is enabled.
 pub const SALVAGE_AUDIT_ENV: &str = "MIRS_SALVAGE_AUDIT";
 
+/// Environment variable controlling the relaxation admission filter
+/// ([`SearchConfig::prune`]) for the harness entry points: `0` turns it
+/// off, anything else (or unset) keeps the default on. The filter only
+/// skips candidate IIs a bounded relaxation *proves* infeasible, so
+/// schedules are byte-identical either way — the knob exists for audits
+/// and for timing the unfiltered climb.
+pub const PRUNE_ENV: &str = "MIRS_PRUNE";
+
 /// Which engine drives the search over candidate IIs.
 ///
 /// The strategy only decides *which* (II, priority-order) attempts are made
@@ -209,6 +217,15 @@ pub struct SearchConfig {
     /// climb's. Default off: the cold search stays byte-identical to the
     /// golden schedule hashes.
     pub salvage: bool,
+    /// Admission-filter the II climb: before each cold attempt, a bounded
+    /// relaxation pass ([`crate::search`] module docs) either *proves* the
+    /// candidate II infeasible — the attempt is skipped outright and
+    /// counted in [`SchedulerStats::pruned_iis`](crate::SchedulerStats) —
+    /// or admits it untouched. Only proven-infeasible IIs are skipped, so
+    /// every strategy produces byte-identical schedules with the filter on
+    /// or off. Default on; `MIRS_PRUNE=0` disables it for the harness
+    /// entry points.
+    pub prune: bool,
 }
 
 impl Default for SearchConfig {
@@ -222,6 +239,7 @@ impl Default for SearchConfig {
             branch_jobs: 1,
             exact_budget: Self::DEFAULT_EXACT_BUDGET,
             salvage: false,
+            prune: true,
         }
     }
 }
@@ -315,9 +333,16 @@ impl SearchConfig {
         self
     }
 
+    /// Builder-style setter for the relaxation admission filter.
+    #[must_use]
+    pub fn with_prune(mut self, prune: bool) -> Self {
+        self.prune = prune;
+        self
+    }
+
     /// Configuration selected by the `MIRS_STRATEGY`, `MIRS_BRANCH_JOBS`,
-    /// `MIRS_EXACT_BUDGET` and `MIRS_SALVAGE` environment variables
-    /// (default parameters for the named strategy;
+    /// `MIRS_EXACT_BUDGET`, `MIRS_SALVAGE` and `MIRS_PRUNE` environment
+    /// variables (default parameters for the named strategy;
     /// [`SearchConfig::default`] when unset or unparsable).
     ///
     /// The variables are read once per process — sweeps consult this per
@@ -352,10 +377,14 @@ impl SearchConfig {
                 .map(|v| v != "0")
                 .unwrap_or(false)
         });
+        static PRUNE: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+        let prune =
+            *PRUNE.get_or_init(|| std::env::var(PRUNE_ENV).map(|v| v != "0").unwrap_or(true));
         Self::for_strategy(kind)
             .with_branch_jobs(branch_jobs)
             .with_exact_budget(exact_budget)
             .with_salvage(salvage)
+            .with_prune(prune)
     }
 }
 
@@ -500,6 +529,7 @@ mod tests {
         assert_eq!(o.prefetch, PrefetchPolicy::HitLatency);
         assert_eq!(o.search.strategy, SearchStrategyKind::Linear);
         assert!(!o.search.salvage, "salvage is opt-in");
+        assert!(o.search.prune, "the admission filter is on by default");
         assert_eq!(SchedulerOptions::paper(), o);
     }
 
@@ -546,7 +576,8 @@ mod tests {
             .with_seed(42)
             .with_branch_jobs(0)
             .with_exact_budget(123)
-            .with_salvage(true);
+            .with_salvage(true)
+            .with_prune(false);
         assert_eq!(cfg.strategy, SearchStrategyKind::Backtracking);
         assert_eq!(cfg.branches, 5);
         assert_eq!(cfg.ii_window, 1, "window clamps to at least 1");
@@ -555,7 +586,9 @@ mod tests {
         assert_eq!(cfg.branch_jobs, 1, "branch jobs clamp to at least 1");
         assert_eq!(cfg.exact_budget, 123);
         assert!(cfg.salvage);
+        assert!(!cfg.prune);
         assert!(!SearchConfig::default().salvage);
+        assert!(SearchConfig::default().prune);
         assert_eq!(
             SearchConfig::exact().strategy,
             SearchStrategyKind::Exact,

@@ -41,6 +41,15 @@ pub struct SchedulerStats {
     /// Spill-candidate evaluations that had to re-derive their structural
     /// use lists (cache cold, or the structural epoch had moved).
     pub spill_memo_misses: u64,
+    /// Distinct candidate IIs the relaxation admission filter proved
+    /// infeasible and skipped without a cold attempt (0 with
+    /// [`SearchConfig::prune`](crate::SearchConfig) off, or when every
+    /// candidate II had to be tried).
+    pub pruned_iis: u32,
+    /// Wall-clock seconds spent inside the relaxation admission filter
+    /// (building the parametric closure and evaluating per-II verdicts),
+    /// already included in [`SchedulerStats::scheduling_seconds`].
+    pub relax_seconds: f64,
     /// Wall-clock scheduling time in seconds.
     pub scheduling_seconds: f64,
 }
@@ -126,6 +135,13 @@ pub struct SearchMeta {
     /// Scheduling attempts made across every candidate (II, priority-order)
     /// pair — `restarts + 1` for the linear strategy, possibly more for
     /// branching ones.
+    ///
+    /// Invariant: `attempts` counts only attempts that *actually ran* the
+    /// inner scheduling loop. Candidate IIs the relaxation admission filter
+    /// skipped are excluded — they appear in [`SearchMeta::pruned_iis`]
+    /// instead — so `attempts + pruned_iis` reconciles against the IIs the
+    /// climb visited (the `MIRS_DEBUG` per-loop summary prints both on one
+    /// line for auditing).
     pub attempts: u32,
     /// Successful candidate schedules evaluated during the search,
     /// including the accepted one (1 when the first success was accepted
@@ -158,6 +174,11 @@ pub struct SearchMeta {
     /// loop in priority order), summed over every salvage probe. Always 0
     /// with salvage off.
     pub replaced_ops: u32,
+    /// Distinct candidate IIs the relaxation admission filter proved
+    /// infeasible and skipped (mirrors
+    /// [`SchedulerStats::pruned_iis`](crate::SchedulerStats); excluded
+    /// from [`SearchMeta::attempts`]).
+    pub pruned_iis: u32,
     /// Optimality certificate ([`SearchProof::Heuristic`] for every
     /// non-exact strategy).
     pub proof: SearchProof,
@@ -171,6 +192,7 @@ impl PartialEq for SearchMeta {
             && self.groups == other.groups
             && self.salvaged_ops == other.salvaged_ops
             && self.replaced_ops == other.replaced_ops
+            && self.pruned_iis == other.pruned_iis
             && self.proof == other.proof
     }
 }

@@ -30,6 +30,21 @@
 //! same loop explores the identical tree in every run, on every thread of
 //! the parallel sweep harness.
 //!
+//! # The admission filter
+//!
+//! With [`SearchConfig::prune`] on (the default), a bounded relaxation
+//! pass (the private `relax` submodule) screens every in-range candidate
+//! II before its cold attempt: when the pass *proves* the II infeasible —
+//! and every II below
+//! it back to the MII is proven too — the driver skips the attempt
+//! outright and reports a pruned failure to the strategy. Because only
+//! provably-infeasible IIs are ever skipped (and a canonical attempt that
+//! could still feed the salvage pipeline is exempt), the accepted
+//! schedule is byte-identical with the filter on or off; only the wasted
+//! cold attempts disappear. `SearchMeta::pruned_iis` and
+//! `SchedulerStats::relax_seconds` surface what the filter did and what
+//! it cost.
+//!
 //! # Branch-parallel execution
 //!
 //! The attempts inside one [`BacktrackingSearch`] candidate-II group — the
@@ -62,6 +77,7 @@ use std::time::Instant;
 use vliw::Opcode;
 
 pub(crate) mod exact;
+pub(crate) mod relax;
 
 /// Next action requested by a [`SearchStrategy`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -94,6 +110,10 @@ pub struct AttemptReport {
     pub spill_ops: u32,
     /// Whether this attempt became the incumbent best candidate.
     pub became_best: bool,
+    /// The attempt never ran: the relaxation admission filter proved the
+    /// II infeasible and the driver skipped it (`success` is `false` and
+    /// no attempt counter moved).
+    pub pruned: bool,
 }
 
 /// Read-only view of the search state a strategy decides from.
@@ -109,6 +129,10 @@ pub struct SearchView {
     pub last: Option<AttemptReport>,
     /// `(ii, spill_ops)` of the incumbent best candidate, if any.
     pub best: Option<(u32, u32)>,
+    /// Distinct candidate IIs the relaxation admission filter has proven
+    /// infeasible and skipped so far — a budgeted strategy can treat these
+    /// as free failures.
+    pub pruned_iis: u32,
 }
 
 /// A strategy for searching the candidate-II space.
@@ -582,6 +606,18 @@ pub(crate) struct SearchDriver<'a, 'm> {
     /// A move the strategy decided right after a success, to be executed on
     /// the next loop turn (so the strategy is consulted once per decision).
     deferred: Option<SearchMove>,
+    /// Whether the relaxation admission filter screens candidate IIs
+    /// ([`SearchConfig::prune`]).
+    prune: bool,
+    /// The admission filter, built lazily on the first screened attempt
+    /// (eagerly by [`SearchDriver::run_exact`], which shares its cache
+    /// with the certifier).
+    filter: Option<relax::RelaxFilter>,
+    /// Distinct candidate IIs the filter proved infeasible and skipped.
+    pruned: std::collections::BTreeSet<u32>,
+    /// Wall-clock seconds spent in the relaxation (cache builds plus
+    /// per-II verdicts), surfaced as `SchedulerStats::relax_seconds`.
+    relax_secs: f64,
 }
 
 impl<'a, 'm> SearchDriver<'a, 'm> {
@@ -634,6 +670,7 @@ impl<'a, 'm> SearchDriver<'a, 'm> {
             attempts: 0,
             last: None,
             best: None,
+            pruned_iis: 0,
         };
         Self {
             sched,
@@ -669,7 +706,62 @@ impl<'a, 'm> SearchDriver<'a, 'm> {
             replaced_ops: 0,
             bound: None,
             deferred: None,
+            prune: opts.search.prune,
+            filter: None,
+            pruned: std::collections::BTreeSet::new(),
+            relax_secs: 0.0,
         }
+    }
+
+    /// Should the attempt at `ii` be skipped? True only when the
+    /// relaxation has proven every II from the MII up to `ii` infeasible —
+    /// the attempt could not possibly succeed, so skipping it cannot
+    /// change which schedule the search accepts.
+    ///
+    /// While salvage may still capture a canonical failure (quota left or
+    /// a capture pending), canonical attempts are exempt: pruning one
+    /// would skip the capture/probe it feeds, changing the warm-start
+    /// sequence downstream. Perturbed attempts never capture and are
+    /// always fair game.
+    fn should_prune(&mut self, ii: u32, seed: Option<u64>) -> bool {
+        if !self.prune {
+            return false;
+        }
+        if seed.is_none() && self.salvage && (self.pending.is_some() || self.probe_quota > 0) {
+            return false;
+        }
+        let relax_start = Instant::now();
+        let graph = &self.graph;
+        let machine = self.sched.machine();
+        let mii = self.mii;
+        let filter = self
+            .filter
+            .get_or_insert_with(|| relax::RelaxFilter::new(graph, machine, mii));
+        let rejected = filter.rejects(ii);
+        self.relax_secs += relax_start.elapsed().as_secs_f64();
+        rejected
+    }
+
+    /// Bookkeeping for a pruned candidate II: the climb position advances
+    /// and the strategy sees a failure report, but no attempt counter
+    /// moves — `SearchMeta::attempts` counts only attempts that ran.
+    fn note_pruned(&mut self, ii: u32, seed: Option<u64>) {
+        self.last_ii = self.last_ii.max(ii);
+        if self.pruned.insert(ii) && self.debug {
+            eprintln!(
+                "PRUNE: loop '{}' ii={ii} relaxation-infeasible, attempt skipped",
+                self.lp.name
+            );
+        }
+        self.view.pruned_iis = u32::try_from(self.pruned.len()).unwrap_or(u32::MAX);
+        self.record(AttemptReport {
+            ii,
+            seed,
+            success: false,
+            spill_ops: 0,
+            became_best: false,
+            pruned: true,
+        });
     }
 
     /// Drive the [`SearchStrategyKind::Exact`] strategy: certify a lower
@@ -682,13 +774,14 @@ impl<'a, 'm> SearchDriver<'a, 'm> {
     pub(crate) fn run_exact(mut self) -> Result<ScheduleResult, ScheduleError> {
         let cfg = self.sched.options().search;
         let mut budget = exact::ExactBudget::new(cfg.exact_budget);
-        let bound = exact::certify_lower_bound(
-            &self.graph,
-            self.sched.machine(),
-            self.mii,
-            self.max_ii,
-            &mut budget,
-        );
+        // Build the shared relaxation state eagerly: the certifier probes
+        // it per candidate II, and the admission filter keeps consulting
+        // the same cached closure during the climb afterwards.
+        let relax_start = Instant::now();
+        let filter = relax::RelaxFilter::new(&self.graph, self.sched.machine(), self.mii);
+        self.relax_secs += relax_start.elapsed().as_secs_f64();
+        let bound = exact::certify_lower_bound(filter.cache(), self.mii, self.max_ii, &mut budget);
+        self.filter = Some(filter);
         if self.debug {
             eprintln!(
                 "EXACT: loop '{}' mii={} certified lower bound {}{}",
@@ -744,7 +837,12 @@ impl<'a, 'm> SearchDriver<'a, 'm> {
                     success: false,
                     spill_ops: 0,
                     became_best: false,
+                    pruned: false,
                 });
+                continue;
+            }
+            if self.should_prune(ii, seed) {
+                self.note_pruned(ii, seed);
                 continue;
             }
             if let Some(accepted) = self.run_attempt(strategy, ii, seed)? {
@@ -785,18 +883,29 @@ impl<'a, 'm> SearchDriver<'a, 'm> {
         };
         let mut ii = self.mii;
         loop {
-            // Exactly the attempts `BacktrackingSearch` would issue at this
-            // II, truncated by the attempt cap the serial driver enforces
-            // before every attempt.
-            let branches = (1 + cfg.branches).min(attempt_cap - self.attempts) as usize;
-            self.run_group(exec, ii, branches, &cfg);
-            if let Some(base) = &audit_base {
-                assert!(
-                    self.graph.same_content(base),
-                    "branch-parallel search mutated the shared base graph of \
-                     loop '{}' at II {ii}",
-                    self.lp.name
-                );
+            if self.should_prune(ii, None) {
+                // The relaxation proved this II infeasible: the whole
+                // canonical+branches group is skipped (the serial driver
+                // prunes each of its proposals individually — same
+                // counters, same pruned set), and the group-end decision
+                // below still runs so the climb matches the serial
+                // strategy move-for-move. The rollback audit has nothing
+                // to check — no branch ever ran.
+                self.note_pruned(ii, None);
+            } else {
+                // Exactly the attempts `BacktrackingSearch` would issue at
+                // this II, truncated by the attempt cap the serial driver
+                // enforces before every attempt.
+                let branches = (1 + cfg.branches).min(attempt_cap - self.attempts) as usize;
+                self.run_group(exec, ii, branches, &cfg);
+                if let Some(base) = &audit_base {
+                    assert!(
+                        self.graph.same_content(base),
+                        "branch-parallel search mutated the shared base graph of \
+                         loop '{}' at II {ii}",
+                        self.lp.name
+                    );
+                }
             }
             // `BacktrackingSearch::next_move`'s group-end decision, verbatim.
             if let Some(best_ii) = self.best.as_ref().map(|c| c.key.ii) {
@@ -1036,6 +1145,7 @@ impl<'a, 'm> SearchDriver<'a, 'm> {
                     success: false,
                     spill_ops: 0,
                     became_best: false,
+                    pruned: false,
                 });
                 Ok(None)
             }
@@ -1059,6 +1169,7 @@ impl<'a, 'm> SearchDriver<'a, 'm> {
                     success: true,
                     spill_ops,
                     became_best,
+                    pruned: false,
                 });
                 if became_best {
                     self.view.best = Some((ii, spill_ops));
@@ -1186,6 +1297,7 @@ impl<'a, 'm> SearchDriver<'a, 'm> {
                     success: true,
                     spill_ops,
                     became_best,
+                    pruned: false,
                 });
                 if became_best {
                     self.view.best = Some((ii, spill_ops));
@@ -1271,6 +1383,9 @@ impl<'a, 'm> SearchDriver<'a, 'm> {
             p.state.discard(self.scratch);
         }
         result.stats.scheduling_seconds = self.start.elapsed().as_secs_f64();
+        result.stats.relax_seconds = self.relax_secs;
+        let pruned_iis = u32::try_from(self.pruned.len()).unwrap_or(u32::MAX);
+        result.stats.pruned_iis = pruned_iis;
         let proof = match self.bound {
             None => SearchProof::Heuristic,
             Some(b) => {
@@ -1300,16 +1415,23 @@ impl<'a, 'm> SearchDriver<'a, 'm> {
             branch_critical_seconds: self.critical_secs + self.group_max_secs,
             salvaged_ops: self.salvaged_ops,
             replaced_ops: self.replaced_ops,
+            pruned_iis,
             proof,
         };
         if self.debug {
+            // One reconciled counter line: `attempts` counts only attempts
+            // that actually ran (warm probes included), `pruned` the
+            // distinct IIs the admission filter skipped without running
+            // anything, `salvaged` the placements warm probes kept.
             eprintln!(
-                "SEARCH: loop '{}' strategy={} ii={} attempts={} candidates={} \
-                 spill-memo {}/{} hits",
+                "SEARCH: loop '{}' strategy={} ii={} attempts={} pruned={} salvaged={} \
+                 candidates={} spill-memo {}/{} hits",
                 self.lp.name,
                 result.search.strategy,
                 result.ii,
                 result.search.attempts,
+                result.search.pruned_iis,
+                result.search.salvaged_ops,
                 result.search.candidates,
                 result.stats.spill_memo_hits,
                 result.stats.spill_memo_hits + result.stats.spill_memo_misses,

@@ -10,8 +10,13 @@
 //! # The relaxation
 //!
 //! Issue cycles decompose as `t(u) = k(u)·II + r(u)` with a *residue*
-//! `r(u) ∈ [0, II)` and a free integer *stage* `k(u)`. The constraint
-//! store holds exactly two families over the residues:
+//! `r(u) ∈ [0, II)` and a free integer *stage* `k(u)`. The propagation
+//! core — the difference-constraint closure, the aggregate slot/port
+//! capacities and the register lifetime-area bound — lives in the shared
+//! [`relax`](super::relax) module, cached per loop so every candidate-II
+//! probe of one certification run (and the driver's admission filter)
+//! reuses the same tables instead of rebuilding them. On top of it the
+//! constraint store here holds two residue-level families:
 //!
 //! * **Dependence windows.** Every edge of the pre-scheduling graph
 //!   requires `t(to) − t(from) ≥ latency − II·distance` (the
@@ -27,16 +32,18 @@
 //!   aggregation `res_mii` uses, which any per-cluster modulo reservation
 //!   table refines.
 //!
-//! Both families are *implied* by every valid schedule of the loop:
+//! Every family is *implied* by every valid schedule of the loop:
 //! spill rewiring replaces a removed flow edge with a chain of strictly
 //! larger latency at equal total distance, inserted spill/move operations
-//! only add resource usage on top of the original nodes, and per-cluster
-//! capacities sum to the aggregate pools. Hence "relaxation infeasible at
-//! II" implies "no valid schedule at II" — the soundness direction the
-//! optimality audit gates. The converse is deliberately not claimed: a
-//! relaxation-feasible II may still be unschedulable (register pressure,
-//! cluster moves), which is why the achieved II can sit above a
-//! non-exhausted bound ([`SearchProof::LowerBound`]).
+//! only add resource usage on top of the original nodes, per-cluster
+//! capacities sum to the aggregate pools, and the completion gate rejects
+//! any placement whose register pressure exceeds the files. Hence
+//! "relaxation infeasible at II" implies "no valid schedule at II" — the
+//! soundness direction the optimality audit gates. The converse is
+//! deliberately not claimed: a relaxation-feasible II may still be
+//! unschedulable (residual register pressure, cluster moves), which is
+//! why the achieved II can sit above a non-exhausted bound
+//! ([`SearchProof::LowerBound`]).
 //!
 //! # The search
 //!
@@ -58,8 +65,7 @@
 //! [`SearchProof::LowerBound`]: crate::SearchProof::LowerBound
 //! [`DepGraph::difference_constraints`]: ddg::DepGraph::difference_constraints
 
-use ddg::{DepGraph, NodeId};
-use vliw::{MachineConfig, OpClass};
+use super::relax::{RelaxCache, Verdict, UNREACH};
 
 /// Expansion budget of one certification run, shared across every
 /// candidate II probed for the same loop. One unit is spent per residue
@@ -115,12 +121,13 @@ enum Walk {
     Exhausted,
 }
 
-/// Certify a lower bound on the II of `graph` on `machine`, probing IIs
-/// upward from `mii` (itself already certified by ResMII/RecMII) until one
-/// is relaxation-feasible, undecidable within `budget`, or above `max_ii`.
+/// Certify a lower bound on the II of the loop behind `cache`, probing
+/// IIs upward from `mii` (itself already certified by ResMII/RecMII)
+/// until one is relaxation-feasible, undecidable within `budget`, or
+/// above `max_ii`. Every probe reuses the cached closure and capacity
+/// tables — and the driver's admission filter shares the same cache.
 pub(crate) fn certify_lower_bound(
-    graph: &DepGraph,
-    machine: &MachineConfig,
+    cache: &RelaxCache,
     mii: u32,
     max_ii: u32,
     budget: &mut ExactBudget,
@@ -135,7 +142,7 @@ pub(crate) fn certify_lower_bound(
                 exhausted: false,
             };
         }
-        match decide_ii(graph, machine, ii, budget) {
+        match decide_ii(cache, ii, budget) {
             IiVerdict::Feasible => {
                 return CertifiedBound {
                     lower_bound: ii,
@@ -153,10 +160,6 @@ pub(crate) fn certify_lower_bound(
     }
 }
 
-/// Sentinel for "no constraint path" in the closure (low enough that no
-/// sum of real path weights can reach it, high enough not to underflow).
-const UNREACH: i64 = i64::MIN / 4;
-
 fn ceil_div(a: i64, b: i64) -> i64 {
     debug_assert!(b > 0);
     (a + b - 1).div_euclid(b)
@@ -166,21 +169,16 @@ fn ceil_div(a: i64, b: i64) -> i64 {
 /// implicit (recomputed by the forward checks), the explicit state is the
 /// partial residue assignment plus the aggregate slot-usage counters it
 /// implies.
-struct Store {
+struct Store<'c> {
+    cache: &'c RelaxCache,
     ii: i64,
-    nodes: Vec<NodeId>,
-    /// GP-pool slots occupied per node (0 for memory/move ops).
-    gp_occ: Vec<u32>,
-    /// Whether the node takes a memory-port slot.
-    is_mem: Vec<bool>,
-    gp_cap: u32,
-    mem_cap: u32,
     /// Aggregate GP usage per kernel slot under the current assignment.
     gp_use: Vec<u32>,
     /// Aggregate memory-port usage per kernel slot.
     mem_use: Vec<u32>,
     /// Longest-path closure `ℓ[u·n+v]` of the constraint graph with edge
-    /// weight `latency − II·distance` ([`UNREACH`] where no path exists).
+    /// weight `latency − II·distance` ([`UNREACH`] where no path exists),
+    /// materialised from the cache's parametric frontiers.
     closure: Vec<i64>,
     /// Direct edges `(from, to, latency − II·distance)` for the final
     /// Bellman–Ford stage check (parallel edges folded to the max weight).
@@ -189,96 +187,25 @@ struct Store {
     residue: Vec<i64>,
 }
 
-impl Store {
-    /// Build the store; `None` when the closure already proves this II
-    /// infeasible (a positive-weight cycle — the RecMII argument) or a
-    /// single op cannot fit the aggregate pools at this II.
-    fn build(graph: &DepGraph, machine: &MachineConfig, ii: u32) -> Option<Self> {
-        let lat = machine.latencies();
-        let iii = i64::from(ii);
-        let nodes: Vec<NodeId> = graph.node_ids().collect();
-        let n = nodes.len();
-        let index_of = |id: NodeId| nodes.binary_search(&id).expect("node_ids are sorted");
-
-        let mut gp_occ = vec![0u32; n];
-        let mut is_mem = vec![false; n];
-        for (i, &id) in nodes.iter().enumerate() {
-            let op = graph.op(id).opcode;
-            match op.class() {
-                OpClass::Gp => gp_occ[i] = lat.occupancy(op),
-                OpClass::Mem => is_mem[i] = true,
-                OpClass::Move => {}
-            }
-        }
-        let gp_cap = machine.total_gp_units();
-        let mem_cap = machine.total_mem_ports();
-        // A single unpipelined op can demand several units of one slot
-        // once its occupancy wraps the kernel.
-        for (i, &occ) in gp_occ.iter().enumerate() {
-            let per_slot_peak = u64::from(occ).div_ceil(u64::from(ii));
-            if per_slot_peak > u64::from(gp_cap) {
-                return None;
-            }
-            if is_mem[i] && mem_cap == 0 {
-                return None;
-            }
-        }
-
-        let mut closure = vec![UNREACH; n * n];
-        for i in 0..n {
-            closure[i * n + i] = 0;
-        }
-        let mut edges: Vec<(usize, usize, i64)> = Vec::new();
-        for (from, to, latency, distance) in graph.difference_constraints(lat) {
-            let (u, v) = (index_of(from), index_of(to));
-            let w = latency - iii * i64::from(distance);
-            let cell = &mut closure[u * n + v];
-            *cell = (*cell).max(w);
-            if let Some(e) = edges.iter_mut().find(|(eu, ev, _)| (*eu, *ev) == (u, v)) {
-                e.2 = e.2.max(w);
-            } else {
-                edges.push((u, v, w));
-            }
-        }
-        // Floyd–Warshall longest paths; a positive diagonal is a positive
-        // cycle, i.e. the II is below this loop's RecMII.
-        for w in 0..n {
-            for u in 0..n {
-                let uw = closure[u * n + w];
-                if uw == UNREACH {
-                    continue;
-                }
-                for v in 0..n {
-                    let wv = closure[w * n + v];
-                    if wv == UNREACH {
-                        continue;
-                    }
-                    let cell = &mut closure[u * n + v];
-                    *cell = (*cell).max(uw + wv);
-                }
-            }
-        }
-        if (0..n).any(|u| closure[u * n + u] > 0) {
-            return None;
-        }
-
-        Some(Self {
-            ii: iii,
-            nodes,
-            gp_occ,
-            is_mem,
-            gp_cap,
-            mem_cap,
+impl<'c> Store<'c> {
+    /// Instantiate the cached relaxation state at one candidate II. The
+    /// caller must have screened the II through [`RelaxCache::verdict`]
+    /// first — a recurrence-infeasible II has no valid closure.
+    fn build(cache: &'c RelaxCache, ii: u32) -> Self {
+        debug_assert!(!cache.rec_infeasible(ii));
+        Self {
+            cache,
+            ii: i64::from(ii),
             gp_use: vec![0; ii as usize],
             mem_use: vec![0; ii as usize],
-            closure,
-            edges,
-            residue: vec![-1; n],
-        })
+            closure: cache.closure_at(ii),
+            edges: cache.edges_at(ii),
+            residue: vec![-1; cache.n()],
+        }
     }
 
     fn n(&self) -> usize {
-        self.nodes.len()
+        self.cache.n()
     }
 
     /// Forward check: can node `u` take residue `r` under the current
@@ -288,19 +215,19 @@ impl Store {
         // Aggregate slot capacities, including self-overlap of wrapped
         // occupancies: every slot takes `occ / II` units, the `occ % II`
         // slots starting at `r` one more.
-        let occ = i64::from(self.gp_occ[u]);
+        let occ = i64::from(self.cache.gp_occ[u]);
         if occ > 0 {
             let base = u32::try_from(occ / ii).expect("occupancy fits u32");
             let rem = occ % ii;
             for s in 0..ii {
                 let wrapped = (s - r).rem_euclid(ii) < rem;
                 let added = base + u32::from(wrapped);
-                if added > 0 && self.gp_use[s as usize] + added > self.gp_cap {
+                if added > 0 && self.gp_use[s as usize] + added > self.cache.gp_cap {
                     return false;
                 }
             }
         }
-        if self.is_mem[u] && self.mem_use[r as usize] + 1 > self.mem_cap {
+        if self.cache.is_mem[u] && self.mem_use[r as usize] + 1 > self.cache.mem_cap {
             return false;
         }
         // Pairwise stage windows against every assigned node: the two
@@ -342,26 +269,26 @@ impl Store {
 
     fn place(&mut self, u: usize, r: i64) {
         self.residue[u] = r;
-        let occ = i64::from(self.gp_occ[u]);
+        let occ = i64::from(self.cache.gp_occ[u]);
         if occ > 0 {
             for off in 0..occ {
                 self.gp_use[((r + off) % self.ii) as usize] += 1;
             }
         }
-        if self.is_mem[u] {
+        if self.cache.is_mem[u] {
             self.mem_use[r as usize] += 1;
         }
     }
 
     fn unplace(&mut self, u: usize, r: i64) {
         self.residue[u] = -1;
-        let occ = i64::from(self.gp_occ[u]);
+        let occ = i64::from(self.cache.gp_occ[u]);
         if occ > 0 {
             for off in 0..occ {
                 self.gp_use[((r + off) % self.ii) as usize] -= 1;
             }
         }
-        if self.is_mem[u] {
+        if self.cache.is_mem[u] {
             self.mem_use[r as usize] -= 1;
         }
     }
@@ -446,20 +373,19 @@ impl Store {
     }
 }
 
-/// Decide one candidate II for `graph` on `machine`.
-pub(crate) fn decide_ii(
-    graph: &DepGraph,
-    machine: &MachineConfig,
-    ii: u32,
-    budget: &mut ExactBudget,
-) -> IiVerdict {
+/// Decide one candidate II for the loop behind `cache`. The bounded
+/// relaxation pass (recurrence threshold, aggregate capacities, register
+/// lifetime area — the same screen the admission filter runs) goes
+/// first and is budget-free; only an undecided II pays for the DFS.
+pub(crate) fn decide_ii(cache: &RelaxCache, ii: u32, budget: &mut ExactBudget) -> IiVerdict {
     debug_assert!(ii >= 1);
-    let Some(mut store) = Store::build(graph, machine, ii) else {
-        return IiVerdict::Infeasible;
-    };
-    if store.n() == 0 {
+    if cache.n() == 0 {
         return IiVerdict::Feasible;
     }
+    if cache.verdict(ii) == Verdict::Infeasible {
+        return IiVerdict::Infeasible;
+    }
+    let mut store = Store::build(cache, ii);
     match store.dfs(budget) {
         Walk::Feasible => IiVerdict::Feasible,
         Walk::Dead => IiVerdict::Infeasible,
@@ -471,7 +397,7 @@ pub(crate) fn decide_ii(
 mod tests {
     use super::*;
     use ddg::{mii, LoopBuilder};
-    use vliw::{LatencyModel, Opcode};
+    use vliw::{LatencyModel, MachineConfig, Opcode};
 
     fn machine_1x64() -> MachineConfig {
         MachineConfig::paper_config(1, 64).unwrap()
@@ -479,6 +405,10 @@ mod tests {
 
     fn unlimited() -> ExactBudget {
         ExactBudget::new(u64::MAX)
+    }
+
+    fn cache_of(lp: &ddg::Loop, machine: &MachineConfig) -> RelaxCache {
+        RelaxCache::build(&lp.graph, machine)
     }
 
     /// daxpy-like body: 2 loads, mul, add, store.
@@ -503,11 +433,12 @@ mod tests {
             m.total_mem_ports(),
         );
         let mut budget = unlimited();
+        let cache = cache_of(&lp, &m);
         assert_eq!(
-            decide_ii(&lp.graph, &m, bounds.mii(), &mut budget),
+            decide_ii(&cache, bounds.mii(), &mut budget),
             IiVerdict::Feasible
         );
-        let bound = certify_lower_bound(&lp.graph, &m, bounds.mii(), 1024, &mut unlimited());
+        let bound = certify_lower_bound(&cache, bounds.mii(), 1024, &mut unlimited());
         assert_eq!(bound.lower_bound, bounds.mii());
         assert!(!bound.exhausted);
     }
@@ -523,15 +454,13 @@ mod tests {
         b.close_recurrence(s, a, 1);
         let lp = b.finish(10);
         let machine = machine_1x64();
+        let cache = cache_of(&lp, &machine);
         assert_eq!(
-            decide_ii(&lp.graph, &machine, 7, &mut unlimited()),
+            decide_ii(&cache, 7, &mut unlimited()),
             IiVerdict::Infeasible,
             "II below RecMII has a positive closure cycle"
         );
-        assert_eq!(
-            decide_ii(&lp.graph, &machine, 8, &mut unlimited()),
-            IiVerdict::Feasible
-        );
+        assert_eq!(decide_ii(&cache, 8, &mut unlimited()), IiVerdict::Feasible);
     }
 
     /// A tight recurrence whose window forces both ends into the same
@@ -554,17 +483,15 @@ mod tests {
             .cluster(vliw::ClusterConfig::new(1, 1, 64))
             .build()
             .unwrap();
+        let cache = cache_of(&lp, &machine);
         assert_eq!(
-            decide_ii(&lp.graph, &machine, 4, &mut unlimited()),
+            decide_ii(&cache, 4, &mut unlimited()),
             IiVerdict::Infeasible,
             "window + capacity conflict at the RecMII"
         );
         // One extra cycle of slack decouples the residues.
-        assert_eq!(
-            decide_ii(&lp.graph, &machine, 5, &mut unlimited()),
-            IiVerdict::Feasible
-        );
-        let bound = certify_lower_bound(&lp.graph, &machine, 4, 1024, &mut unlimited());
+        assert_eq!(decide_ii(&cache, 5, &mut unlimited()), IiVerdict::Feasible);
+        let bound = certify_lower_bound(&cache, 4, 1024, &mut unlimited());
         assert_eq!(bound.lower_bound, 5, "the certified bound clears the MII");
         assert!(!bound.exhausted);
     }
@@ -573,18 +500,16 @@ mod tests {
     fn budget_exhaustion_degrades_to_unknown_not_a_guess() {
         let lp = small_loop();
         let machine = machine_1x64();
+        let cache = cache_of(&lp, &machine);
         let mut empty = ExactBudget::new(0);
-        assert_eq!(
-            decide_ii(&lp.graph, &machine, 2, &mut empty),
-            IiVerdict::Unknown
-        );
-        let bound = certify_lower_bound(&lp.graph, &machine, 2, 1024, &mut ExactBudget::new(0));
+        assert_eq!(decide_ii(&cache, 2, &mut empty), IiVerdict::Unknown);
+        let bound = certify_lower_bound(&cache, 2, 1024, &mut ExactBudget::new(0));
         assert_eq!(bound.lower_bound, 2, "exhaustion keeps the probe II");
         assert!(bound.exhausted);
         // A budget too small to finish the tight search also degrades.
         let mut tiny = ExactBudget::new(1);
         assert!(matches!(
-            decide_ii(&lp.graph, &machine, 1, &mut tiny),
+            decide_ii(&cache, 1, &mut tiny),
             IiVerdict::Unknown | IiVerdict::Infeasible
         ));
     }
@@ -600,13 +525,35 @@ mod tests {
                 machine.total_gp_units(),
                 machine.total_mem_ports(),
             );
-            let bound =
-                certify_lower_bound(&lp.graph, &machine, bounds.mii(), 1024, &mut unlimited());
+            let cache = cache_of(&lp, &machine);
+            let bound = certify_lower_bound(&cache, bounds.mii(), 1024, &mut unlimited());
             assert!(
                 bound.lower_bound >= bounds.mii(),
                 "certified bound never regresses below the MII"
             );
         }
+    }
+
+    /// The register lifetime-area family participates in certification:
+    /// on a register-starved file the bound climbs past IIs the
+    /// residue/capacity relaxation alone would call feasible.
+    #[test]
+    fn register_pressure_raises_the_certified_bound() {
+        let lp = small_loop();
+        let tight = MachineConfig::builder()
+            .cluster(vliw::ClusterConfig::new(2, 2, 1))
+            .build()
+            .unwrap();
+        let roomy = machine_1x64();
+        let tight_bound =
+            certify_lower_bound(&cache_of(&lp, &tight), 2, 1024, &mut unlimited()).lower_bound;
+        let roomy_bound =
+            certify_lower_bound(&cache_of(&lp, &roomy), 2, 1024, &mut unlimited()).lower_bound;
+        assert!(
+            tight_bound > roomy_bound,
+            "a one-register file must push the bound above the roomy file's \
+             {roomy_bound} (got {tight_bound})"
+        );
     }
 
     fn loopgen_like_kernels() -> Vec<ddg::Loop> {

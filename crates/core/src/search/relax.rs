@@ -1,0 +1,657 @@
+//! The shared relaxation layer of the II search: sound, DFS-free
+//! infeasibility reasoning reused by **two** consumers —
+//!
+//! * the exact certifier ([`super::exact`]), which runs the full residue
+//!   branch-and-bound on top of the closure and capacity tables cached
+//!   here, and
+//! * the driver's **admission filter** ([`RelaxFilter`]), which consults
+//!   only the bounded relaxation pass ([`RelaxCache::verdict`]) to skip
+//!   candidate IIs that are provably infeasible before any cold
+//!   scheduling attempt is spent on them.
+//!
+//! Every check in this module is *implied by any valid schedule*: an
+//! [`Verdict::Infeasible`] answer means no schedule — with any spilling,
+//! ejection or cluster-move choices — can exist at that II, which is what
+//! makes skipping the attempt byte-identity-safe ([`Verdict::Undecided`]
+//! claims nothing). Three constraint families are checked:
+//!
+//! 1. **Recurrence cycles.** Every dependence edge requires
+//!    `t(to) − t(from) ≥ latency − II·distance`; a positive-weight cycle in
+//!    that difference-constraint graph is unsatisfiable. The smallest II
+//!    with no positive cycle ([`RelaxCache::rec_infeasible`]) is found once
+//!    by binary search with Bellman–Ford probes; every II below it is
+//!    infeasible.
+//! 2. **Aggregate slot capacities.** The GP-occupancy total and memory-op
+//!    count must fit `total_gp_units()·II` and `total_mem_ports()·II`, and
+//!    a single wrapped occupancy may not demand more units of one kernel
+//!    slot than the pool holds — the same aggregation `res_mii` uses.
+//! 3. **Register lifetime area.** Each virtual value is live from its
+//!    definition to its last use, so the summed lifetime spans (the
+//!    MaxLive integral) of any schedule at II need at least
+//!    `⌈area / II⌉` registers. The minimum span of a loop-variant value
+//!    is bounded below by its longest producer→consumer dependence chain
+//!    (`max(direct latency, ℓ(u,v) + II·distance)` over the value's flow
+//!    edges, with `ℓ` the longest-path closure); an invariant with a
+//!    consumer is live the whole kernel (`II`). Spilling can shrink a
+//!    span — to no less than `producer latency + reload latency`
+//!    (variants) or `reload latency` (invariants, already memory-backed)
+//!    — but each spilled variant adds two memory ops and each reloaded
+//!    invariant one, and the kernel only has `mem_ports·II − #mem-ops`
+//!    spare memory slots. A fractional knapsack over the per-value
+//!    `(span reduction, memory traffic)` pairs therefore upper-bounds the
+//!    reduction any real spill plan can reach; if even the maximally
+//!    spilled area exceeds `total registers · II`, the II is infeasible.
+//!    (Schedulers cannot beat the bound by other means: cluster moves
+//!    only re-home a value, and the scheduler's completion gate rejects
+//!    any placement whose pressure exceeds the register files.)
+//!
+//! # Incremental across the climb
+//!
+//! All II-dependent state is derived from II-independent tables built
+//! once per loop. The longest-path closure is kept *parametrically*: for
+//! every node pair the cache stores the Pareto frontier of path summaries
+//! `(L, D)` — total latency and total distance — whose weight at a given
+//! II is `L − II·D`. An entry dominates another over the queried domain
+//! `II ≥ T` (`T` = the recurrence threshold) iff it has no larger `D` and
+//! no smaller value at `T`; with that dominance rule a single
+//! Floyd–Warshall pass over frontiers yields, for **every** `II ≥ T` at
+//! once, exactly the per-II closure the certifier previously recomputed
+//! from scratch per probe ([`RelaxCache::closure_at`] materialises it in
+//! `O(n²·f)`). The same cache instance serves every candidate II of the
+//! climb and `certify_lower_bound`'s probes — the cross-probe reuse the
+//! ROADMAP's oracle item called for. Frontiers are capped ([`FRONTIER_CAP`])
+//! as a safety valve; dropping entries only *under*-approximates the
+//! closure, which weakens the bound but never makes it unsound.
+
+use ddg::{DepGraph, NodeId};
+use std::cell::OnceCell;
+use vliw::{MachineConfig, OpClass, Opcode};
+
+/// Sentinel for "no constraint path" in the closure (low enough that no
+/// sum of real path weights can reach it, high enough not to underflow).
+pub(crate) const UNREACH: i64 = i64::MIN / 4;
+
+/// Hard cap on parametric-closure frontier sizes. Real loops need a
+/// handful of entries (one per distinct path-distance class); the cap
+/// bounds degenerate cases. Overflow drops the largest-distance entry,
+/// under-approximating the closure — sound, merely weaker.
+const FRONTIER_CAP: usize = 32;
+
+/// Verdict of one bounded relaxation pass over a candidate II.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Verdict {
+    /// Proven: no valid schedule of the loop exists at this II.
+    Infeasible,
+    /// No obstruction found. This is *not* a feasibility claim — the II
+    /// may still be unschedulable for reasons the relaxation drops.
+    Undecided,
+}
+
+/// A path summary `(L, D)`: weight at initiation interval II is
+/// `L − II·D`.
+type Entry = (i64, i64);
+type Frontier = Vec<Entry>;
+
+/// Register-area inputs of one loop-variant value.
+struct VariantArea {
+    /// Producer-op latency: the span floor even a spilled value keeps
+    /// (the store cannot issue before the producing op completes).
+    producer_latency: i64,
+    /// `(producer idx, consumer idx, direct latency, distance)` per
+    /// dependence edge carrying the value.
+    uses: Vec<(usize, usize, i64, i64)>,
+}
+
+/// Register-area inputs of the whole loop; absent when any cluster's
+/// register file is unbounded (the bound can never fire).
+struct RegModel {
+    /// Summed register capacity across clusters.
+    r_total: i64,
+    /// Loop-invariant values with at least one consumer (each occupies a
+    /// register for the full kernel unless re-loaded from memory).
+    invariants: usize,
+    variants: Vec<VariantArea>,
+}
+
+/// Per-loop relaxation state, II-independent; built once and consulted
+/// for every candidate II of the climb and every certifier probe.
+pub(crate) struct RelaxCache {
+    nodes: Vec<NodeId>,
+    /// GP-pool slots occupied per node (0 for memory/move ops).
+    pub(crate) gp_occ: Vec<u32>,
+    /// Whether the node takes a memory-port slot.
+    pub(crate) is_mem: Vec<bool>,
+    pub(crate) gp_cap: u32,
+    pub(crate) mem_cap: u32,
+    /// Total GP occupancy and memory-op count (aggregate capacity checks).
+    gp_total: u64,
+    mem_total: u64,
+    /// Raw difference constraints `(u, v, latency, distance)`, sorted by
+    /// `(u, v)` so per-II edge folding is a linear scan.
+    cons: Vec<(usize, usize, i64, i64)>,
+    /// Smallest II at which the constraint graph has no positive cycle;
+    /// `None` when a zero-distance positive cycle makes every II
+    /// infeasible.
+    rec_threshold: Option<u32>,
+    /// Parametric closure frontiers (`n·n`), built lazily on first use —
+    /// the admission filter on a machine with unbounded registers never
+    /// needs them.
+    frontiers: OnceCell<Vec<Frontier>>,
+    reg: Option<RegModel>,
+    /// Latency of a spill reload (the span floor of a re-loaded value).
+    lat_reload: i64,
+}
+
+impl RelaxCache {
+    /// Build the cache for `graph` on `machine`.
+    pub(crate) fn build(graph: &DepGraph, machine: &MachineConfig) -> Self {
+        let lat = machine.latencies();
+        let nodes: Vec<NodeId> = graph.node_ids().collect();
+        let n = nodes.len();
+        let index_of = |id: NodeId| nodes.binary_search(&id).expect("node_ids are sorted");
+
+        let mut gp_occ = vec![0u32; n];
+        let mut is_mem = vec![false; n];
+        for (i, &id) in nodes.iter().enumerate() {
+            let op = graph.op(id).opcode;
+            match op.class() {
+                OpClass::Gp => gp_occ[i] = lat.occupancy(op),
+                OpClass::Mem => is_mem[i] = true,
+                OpClass::Move => {}
+            }
+        }
+        let gp_total = gp_occ.iter().map(|&o| u64::from(o)).sum();
+        let mem_total = is_mem.iter().filter(|&&m| m).count() as u64;
+
+        let mut cons: Vec<(usize, usize, i64, i64)> = graph
+            .difference_constraints(lat)
+            .map(|(from, to, latency, distance)| {
+                (index_of(from), index_of(to), latency, i64::from(distance))
+            })
+            .collect();
+        cons.sort_unstable();
+        let rec_threshold = recurrence_threshold(n, &cons);
+
+        let mut r_total = 0i64;
+        let mut unbounded = false;
+        for c in machine.cluster_ids() {
+            let r = machine.registers_in(c);
+            if r == u32::MAX {
+                unbounded = true;
+                break;
+            }
+            r_total += i64::from(r);
+        }
+        let reg = if unbounded {
+            None
+        } else {
+            let mut invariants = 0usize;
+            let mut variants = Vec::new();
+            for v in graph.value_ids() {
+                let data = graph.value(v);
+                if data.invariant {
+                    if !graph.consumer_ids(v).is_empty() {
+                        invariants += 1;
+                    }
+                    continue;
+                }
+                let Some(u) = data.producer else { continue };
+                let u_idx = index_of(u);
+                let producer_latency = i64::from(graph.op(u).latency(lat));
+                let mut uses = Vec::new();
+                for &e in graph.out_edge_ids(u) {
+                    let edge = graph.edge(e);
+                    if edge.value != Some(v) {
+                        continue;
+                    }
+                    uses.push((
+                        u_idx,
+                        index_of(edge.to),
+                        graph.latency_of(edge, lat),
+                        i64::from(edge.distance),
+                    ));
+                }
+                if !uses.is_empty() {
+                    variants.push(VariantArea {
+                        producer_latency,
+                        uses,
+                    });
+                }
+            }
+            Some(RegModel {
+                r_total,
+                invariants,
+                variants,
+            })
+        };
+
+        Self {
+            nodes,
+            gp_occ,
+            is_mem,
+            gp_cap: machine.total_gp_units(),
+            mem_cap: machine.total_mem_ports(),
+            gp_total,
+            mem_total,
+            cons,
+            rec_threshold,
+            frontiers: OnceCell::new(),
+            reg,
+            lat_reload: i64::from(lat.latency(Opcode::SpillLoad)),
+        }
+    }
+
+    pub(crate) fn n(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The constraint graph has a positive cycle at this II (the RecMII
+    /// argument: no residue/stage assignment can satisfy it).
+    pub(crate) fn rec_infeasible(&self, ii: u32) -> bool {
+        match self.rec_threshold {
+            None => true,
+            Some(t) => ii < t,
+        }
+    }
+
+    /// The bounded relaxation pass of the admission filter (and the
+    /// pre-DFS screen of the certifier): recurrence threshold, aggregate
+    /// capacities and the register lifetime-area bound — no search.
+    pub(crate) fn verdict(&self, ii: u32) -> Verdict {
+        debug_assert!(ii >= 1);
+        if self.n() == 0 {
+            return Verdict::Undecided;
+        }
+        if self.rec_infeasible(ii) {
+            return Verdict::Infeasible;
+        }
+        let iiu = u64::from(ii);
+        for &occ in &self.gp_occ {
+            // A single unpipelined op can demand several units of one
+            // slot once its occupancy wraps the kernel.
+            if u64::from(occ).div_ceil(iiu) > u64::from(self.gp_cap) {
+                return Verdict::Infeasible;
+            }
+        }
+        if self.gp_total > u64::from(self.gp_cap) * iiu
+            || self.mem_total > u64::from(self.mem_cap) * iiu
+        {
+            return Verdict::Infeasible;
+        }
+        if self.register_area_infeasible(ii) {
+            return Verdict::Infeasible;
+        }
+        Verdict::Undecided
+    }
+
+    /// Constraint family 3: minimum register lifetime area (after the
+    /// best spill plan the memory ports allow) still exceeds the summed
+    /// register capacity over one kernel.
+    fn register_area_infeasible(&self, ii: u32) -> bool {
+        let Some(reg) = &self.reg else { return false };
+        let iii = i64::from(ii);
+        let cl = self.closure_at(ii);
+        let n = self.n();
+        let mut area = 0i64;
+        // `(span reduction, memory-traffic cost)` of spilling each value.
+        let mut reductions: Vec<(i64, i64)> = Vec::new();
+        area += reg.invariants as i64 * iii;
+        let red_inv = iii - self.lat_reload;
+        if red_inv > 0 {
+            for _ in 0..reg.invariants {
+                reductions.push((red_inv, 1));
+            }
+        }
+        for v in &reg.variants {
+            let mut span: Option<i64> = None;
+            for &(u, to, direct, dist) in &v.uses {
+                let via = cl[u * n + to];
+                let lb = if via == UNREACH {
+                    direct
+                } else {
+                    direct.max(via + iii * dist)
+                };
+                span = Some(span.map_or(lb, |s| s.max(lb)));
+            }
+            let Some(span) = span else { continue };
+            area += span;
+            let red = span - (v.producer_latency + self.lat_reload);
+            if red > 0 {
+                reductions.push((red, 2));
+            }
+        }
+        // Fractional knapsack over the spare memory slots of the kernel:
+        // an upper bound on the reduction of any integral spill plan.
+        let budget_mem = i64::from(self.mem_cap) * iii - self.mem_total as i64;
+        let mut red_max = 0f64;
+        if budget_mem > 0 {
+            reductions.sort_by(|a, b| {
+                (a.0 * b.1)
+                    .cmp(&(b.0 * a.1))
+                    .reverse()
+                    .then(a.cmp(b).reverse())
+            });
+            let mut left = budget_mem as f64;
+            for (r, t) in reductions {
+                if left <= 0.0 {
+                    break;
+                }
+                let take = (left / t as f64).min(1.0);
+                red_max += take * r as f64;
+                left -= take * t as f64;
+            }
+        }
+        area - red_max.ceil() as i64 > reg.r_total * iii
+    }
+
+    /// Materialise the longest-path closure `ℓ[u·n+v]` at one II from the
+    /// parametric frontiers ([`UNREACH`] where no path exists). Only valid
+    /// at IIs with no positive cycle.
+    pub(crate) fn closure_at(&self, ii: u32) -> Vec<i64> {
+        debug_assert!(!self.rec_infeasible(ii));
+        let iii = i64::from(ii);
+        self.frontiers()
+            .iter()
+            .map(|f| f.iter().map(|&(l, d)| l - iii * d).max().unwrap_or(UNREACH))
+            .collect()
+    }
+
+    /// Direct edges `(from, to, latency − II·distance)` at one II,
+    /// parallel edges folded to the max weight (the Bellman–Ford stage
+    /// check of the certifier).
+    pub(crate) fn edges_at(&self, ii: u32) -> Vec<(usize, usize, i64)> {
+        let iii = i64::from(ii);
+        let mut out: Vec<(usize, usize, i64)> = Vec::new();
+        for &(u, v, l, d) in &self.cons {
+            let w = l - iii * d;
+            match out.last_mut() {
+                Some(e) if (e.0, e.1) == (u, v) => e.2 = e.2.max(w),
+                _ => out.push((u, v, w)),
+            }
+        }
+        out
+    }
+
+    /// The parametric closure, built on first use.
+    fn frontiers(&self) -> &[Frontier] {
+        self.frontiers.get_or_init(|| {
+            let t = self
+                .rec_threshold
+                .expect("closure is only queried at recurrence-feasible IIs");
+            build_frontiers(self.n(), &self.cons, i64::from(t.max(1)))
+        })
+    }
+}
+
+/// `true` iff the difference-constraint graph has a positive-weight cycle
+/// at this II (Bellman–Ford over `latency − II·distance`).
+fn has_positive_cycle(n: usize, cons: &[(usize, usize, i64, i64)], ii: i64) -> bool {
+    let mut dist = vec![0i64; n];
+    for round in 0..=n {
+        let mut relaxed = false;
+        for &(u, v, l, d) in cons {
+            let w = l - ii * d;
+            if dist[u] + w > dist[v] {
+                dist[v] = dist[u] + w;
+                relaxed = true;
+            }
+        }
+        if !relaxed {
+            return false;
+        }
+        if round == n {
+            return true;
+        }
+    }
+    false
+}
+
+/// Smallest II with no positive constraint cycle — the closure-level
+/// RecMII. `None` when a zero-distance positive cycle keeps every II
+/// infeasible. Feasibility is monotone in II (cycle weights `L − II·D`
+/// only shrink as II grows), so a binary search with Bellman–Ford probes
+/// decides it.
+fn recurrence_threshold(n: usize, cons: &[(usize, usize, i64, i64)]) -> Option<u32> {
+    if n == 0 {
+        return Some(1);
+    }
+    // Any cycle's latency sum is at most the sum of positive latencies,
+    // so at `hi` only zero-distance cycles can still be positive.
+    let lat_sum: i64 = cons.iter().map(|&(_, _, l, _)| l.max(0)).sum();
+    let hi = lat_sum.max(1);
+    if has_positive_cycle(n, cons, hi) {
+        return None;
+    }
+    let (mut lo, mut hi) = (1i64, hi);
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if has_positive_cycle(n, cons, mid) {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    Some(u32::try_from(lo).expect("threshold bounded by latency sum"))
+}
+
+/// `a` dominates `b` over the domain `II ≥ anchor`: no larger distance
+/// and no smaller value at the anchor (then `a`'s value stays ≥ `b`'s for
+/// every larger II too).
+fn dominates(anchor: i64, a: Entry, b: Entry) -> bool {
+    a.1 <= b.1 && a.0 - anchor * a.1 >= b.0 - anchor * b.1
+}
+
+/// Insert `cand` into a Pareto frontier kept sorted by distance.
+fn insert_entry(anchor: i64, f: &mut Frontier, cand: Entry) {
+    if f.iter().any(|&e| dominates(anchor, e, cand)) {
+        return;
+    }
+    f.retain(|&e| !dominates(anchor, cand, e));
+    let pos = f.partition_point(|&e| e.1 < cand.1);
+    f.insert(pos, cand);
+    if f.len() > FRONTIER_CAP {
+        // Largest-distance entries decay fastest with II; dropping one
+        // under-approximates the closure (sound).
+        f.pop();
+    }
+}
+
+/// One Floyd–Warshall pass over `(L, D)` frontiers. With the
+/// anchor-dominance rule, cycle-augmented summaries are dominated by
+/// their cycle-free projections (every cycle is non-positive at the
+/// anchor), so the pass converges to the frontier of simple paths — the
+/// exact longest-path closure for every `II ≥ anchor`.
+fn build_frontiers(n: usize, cons: &[(usize, usize, i64, i64)], anchor: i64) -> Vec<Frontier> {
+    let mut fr: Vec<Frontier> = vec![Vec::new(); n * n];
+    for i in 0..n {
+        insert_entry(anchor, &mut fr[i * n + i], (0, 0));
+    }
+    for &(u, v, l, d) in cons {
+        insert_entry(anchor, &mut fr[u * n + v], (l, d));
+    }
+    for k in 0..n {
+        for i in 0..n {
+            if fr[i * n + k].is_empty() {
+                continue;
+            }
+            let left = fr[i * n + k].clone();
+            for j in 0..n {
+                if fr[k * n + j].is_empty() {
+                    continue;
+                }
+                let right = fr[k * n + j].clone();
+                for &a in &left {
+                    for &b in &right {
+                        insert_entry(anchor, &mut fr[i * n + j], (a.0 + b.0, a.1 + b.1));
+                    }
+                }
+            }
+        }
+    }
+    fr
+}
+
+/// The driver's admission filter: an incremental frontier of
+/// relaxation-proven-infeasible IIs, growing upward from the MII.
+///
+/// An II is only ever skipped when **every** II from the MII up to and
+/// including it is proven infeasible ([`RelaxFilter::rejects`]); the
+/// pruned set is therefore always the contiguous prefix `[mii, frontier)`
+/// of the climb, each member sits strictly below any sound certified
+/// lower bound, and the first II the search actually attempts is the same
+/// one it would have reached by failing through the prefix cold — which
+/// is why skipping preserves byte-identical schedules for every strategy.
+pub(crate) struct RelaxFilter {
+    cache: RelaxCache,
+    /// Lowest II not yet proven infeasible; everything in
+    /// `[mii, frontier)` is proven.
+    frontier: u32,
+    /// The frontier stopped extending (an II came back [`Verdict::Undecided`]).
+    open: bool,
+}
+
+impl RelaxFilter {
+    pub(crate) fn new(graph: &DepGraph, machine: &MachineConfig, mii: u32) -> Self {
+        Self {
+            cache: RelaxCache::build(graph, machine),
+            frontier: mii.max(1),
+            open: true,
+        }
+    }
+
+    /// The per-loop relaxation state, shared with the exact certifier.
+    pub(crate) fn cache(&self) -> &RelaxCache {
+        &self.cache
+    }
+
+    /// `true` iff every II up to and including `ii` is proven infeasible —
+    /// the attempt can be skipped without changing the search outcome.
+    pub(crate) fn rejects(&mut self, ii: u32) -> bool {
+        while self.open && self.frontier <= ii {
+            match self.cache.verdict(self.frontier) {
+                Verdict::Infeasible => self.frontier += 1,
+                Verdict::Undecided => self.open = false,
+            }
+        }
+        ii < self.frontier
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddg::LoopBuilder;
+
+    /// daxpy-like body: 2 loads, mul, add, store.
+    fn small_loop() -> ddg::Loop {
+        let mut b = LoopBuilder::new("small");
+        let x = b.load("x");
+        let y = b.load("y");
+        let m = b.op(Opcode::FpMul, &[x, x]);
+        let s = b.op(Opcode::FpAdd, &[m, y]);
+        b.store("z", s);
+        b.finish(100)
+    }
+
+    fn recurrence_loop() -> ddg::Loop {
+        // mul(4) + add(4) over distance 1: RecMII = 8.
+        let mut b = LoopBuilder::new("rec");
+        let x = b.load("x");
+        let s = b.recurrence("s");
+        let m = b.op(Opcode::FpMul, &[s, x]);
+        let a = b.op(Opcode::FpAdd, &[m, x]);
+        b.close_recurrence(s, a, 1);
+        b.finish(10)
+    }
+
+    /// Per-II Floyd–Warshall, the certifier's original formulation — the
+    /// parametric frontiers must reproduce it exactly.
+    fn naive_closure(cache: &RelaxCache, ii: u32) -> Vec<i64> {
+        let n = cache.n();
+        let iii = i64::from(ii);
+        let mut d = vec![UNREACH; n * n];
+        for i in 0..n {
+            d[i * n + i] = 0;
+        }
+        for &(u, v, l, dist) in &cache.cons {
+            let w = l - iii * dist;
+            let cell = &mut d[u * n + v];
+            *cell = (*cell).max(w);
+        }
+        for k in 0..n {
+            for i in 0..n {
+                if d[i * n + k] == UNREACH {
+                    continue;
+                }
+                for j in 0..n {
+                    if d[k * n + j] == UNREACH {
+                        continue;
+                    }
+                    let w = d[i * n + k] + d[k * n + j];
+                    let cell = &mut d[i * n + j];
+                    *cell = (*cell).max(w);
+                }
+            }
+        }
+        d
+    }
+
+    #[test]
+    fn parametric_closure_matches_per_ii_floyd_warshall() {
+        let machine = MachineConfig::paper_config(1, 64).unwrap();
+        for lp in [small_loop(), recurrence_loop()] {
+            let cache = RelaxCache::build(&lp.graph, &machine);
+            let t = cache.rec_threshold.expect("no zero-distance cycles");
+            for ii in t..t + 8 {
+                assert_eq!(
+                    cache.closure_at(ii),
+                    naive_closure(&cache, ii),
+                    "loop '{}' at II {ii}",
+                    lp.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn recurrence_threshold_matches_the_positive_cycle_boundary() {
+        let machine = MachineConfig::paper_config(1, 64).unwrap();
+        let lp = recurrence_loop();
+        let cache = RelaxCache::build(&lp.graph, &machine);
+        assert!(cache.rec_infeasible(7), "II 7 has a positive cycle");
+        assert!(!cache.rec_infeasible(8), "RecMII is 8");
+        assert_eq!(cache.verdict(7), Verdict::Infeasible);
+    }
+
+    #[test]
+    fn register_area_bound_fires_only_on_tight_register_files() {
+        let lp = small_loop();
+        // One register in total: the four live values' spans can never
+        // fold into `1·II` for any II below the summed chain latencies.
+        let tight = MachineConfig::builder()
+            .cluster(vliw::ClusterConfig::new(2, 1, 1))
+            .build()
+            .unwrap();
+        let cache = RelaxCache::build(&lp.graph, &tight);
+        assert_eq!(cache.verdict(4), Verdict::Infeasible);
+        // A roomy file keeps the same II undecided (feasibility is the
+        // scheduler's call, not the relaxation's).
+        let roomy = MachineConfig::paper_config(1, 64).unwrap();
+        let cache = RelaxCache::build(&lp.graph, &roomy);
+        assert_eq!(cache.verdict(4), Verdict::Undecided);
+    }
+
+    #[test]
+    fn filter_prunes_exactly_the_infeasible_prefix() {
+        let lp = recurrence_loop();
+        let machine = MachineConfig::paper_config(1, 64).unwrap();
+        // Start the climb below the recurrence threshold on purpose: the
+        // filter must reject the whole infeasible prefix and nothing above.
+        let mut filter = RelaxFilter::new(&lp.graph, &machine, 5);
+        assert!(filter.rejects(5));
+        assert!(filter.rejects(7));
+        assert!(!filter.rejects(8));
+        assert!(filter.rejects(6), "already-decided IIs stay decided");
+        assert!(!filter.rejects(20), "beyond the frontier nothing is pruned");
+    }
+}

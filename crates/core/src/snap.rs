@@ -85,6 +85,7 @@ impl SnapEncode for SearchConfig {
         w.put_u32(self.branch_jobs);
         w.put_u64(self.exact_budget);
         w.put_u8(u8::from(self.salvage));
+        w.put_u8(u8::from(self.prune));
     }
 }
 
@@ -99,6 +100,7 @@ impl SnapDecode for SearchConfig {
             branch_jobs: r.get_u32()?,
             exact_budget: r.get_u64()?,
             salvage: r.get_u8()? != 0,
+            prune: r.get_u8()? != 0,
         })
     }
 }
@@ -115,6 +117,8 @@ impl SnapEncode for SchedulerStats {
         w.put_u32(self.restarts);
         w.put_u64(self.spill_memo_hits);
         w.put_u64(self.spill_memo_misses);
+        w.put_u32(self.pruned_iis);
+        w.put_f64(self.relax_seconds);
         w.put_f64(self.scheduling_seconds);
     }
 }
@@ -132,6 +136,8 @@ impl SnapDecode for SchedulerStats {
             restarts: r.get_u32()?,
             spill_memo_hits: r.get_u64()?,
             spill_memo_misses: r.get_u64()?,
+            pruned_iis: r.get_u32()?,
+            relax_seconds: r.get_f64()?,
             scheduling_seconds: r.get_f64()?,
         })
     }
@@ -147,6 +153,7 @@ impl SnapEncode for SearchMeta {
         w.put_f64(self.branch_critical_seconds);
         w.put_u32(self.salvaged_ops);
         w.put_u32(self.replaced_ops);
+        w.put_u32(self.pruned_iis);
         self.proof.encode_snap(w);
     }
 }
@@ -162,6 +169,7 @@ impl SnapDecode for SearchMeta {
             branch_critical_seconds: r.get_f64()?,
             salvaged_ops: r.get_u32()?,
             replaced_ops: r.get_u32()?,
+            pruned_iis: r.get_u32()?,
             proof: SnapDecode::decode_snap(r)?,
         })
     }
@@ -346,7 +354,8 @@ mod tests {
             .with_seed(42)
             .with_branch_jobs(4)
             .with_exact_budget(9_001)
-            .with_salvage(true);
+            .with_salvage(true)
+            .with_prune(false);
         let blob = vliw::snap::encode_blob(*b"TCFG", &cfg);
         let back: SearchConfig = vliw::snap::decode_blob(*b"TCFG", &blob).unwrap();
         assert_eq!(back, cfg);
@@ -369,6 +378,7 @@ mod tests {
                 branch_critical_seconds: 0.0,
                 salvaged_ops: 12,
                 replaced_ops: 2,
+                pruned_iis: 4,
                 proof,
             };
             let blob = vliw::snap::encode_blob(*b"TMET", &meta);

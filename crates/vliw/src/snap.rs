@@ -52,8 +52,10 @@ use std::fmt;
 /// History: 1 — initial format; 2 — `SearchMeta` gained the optimality
 /// proof and `SearchConfig` the exact certification budget; 3 —
 /// `SearchMeta` gained the salvaged/replaced op counts and `SearchConfig`
-/// the restart-salvage flag.
-pub const FORMAT_VERSION: u16 = 3;
+/// the restart-salvage flag; 4 — `SearchMeta`/`SchedulerStats` gained the
+/// pruned-II counters (and relax timing) and `SearchConfig` the
+/// admission-filter flag.
+pub const FORMAT_VERSION: u16 = 4;
 
 /// Envelope magic for [`MachineConfig`] snapshots.
 pub const MACHINE_MAGIC: [u8; 4] = *b"MMCH";

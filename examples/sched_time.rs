@@ -32,6 +32,11 @@
 //! failed attempt's surviving placements; the `salvage s/r` column then
 //! reports, per row, how many operations the warm probes salvaged in
 //! place (`s`) and how many they had to evict and replace (`r`).
+//!
+//! The relaxation admission filter is on by default; the `p` column counts
+//! the candidate IIs it proved infeasible and skipped across the row's
+//! loops. `--no-prune` (or `MIRS_PRUNE=0`) disables it to time the
+//! unfiltered climb — schedules are byte-identical either way.
 
 use harness::cache::ScheduleCache;
 use harness::runner::{run_workbench_opts, time_workbench_opts, SchedTimeTrial, SchedulerKind};
@@ -46,6 +51,12 @@ fn env_usize(name: &str, default: usize) -> usize {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(default)
+}
+
+/// Whether the bare flag `--NAME` is present.
+fn flag_set(name: &str) -> bool {
+    let long = format!("--{name}");
+    std::env::args().skip(1).any(|a| a == long)
 }
 
 /// Value of `--NAME X` (also accepts `--NAME=X`), if present.
@@ -103,7 +114,7 @@ fn main() {
             .map_or(String::new(), |d| format!(", cache at {}", d.display()))
     );
     println!(
-        "{:<18} {:>9} {:>6} {:>9} {:>12} {:>12} {:>12} {:>14} {:>8} {:>12} {:>12}",
+        "{:<18} {:>9} {:>6} {:>9} {:>12} {:>12} {:>12} {:>14} {:>8} {:>12} {:>12} {:>6}",
         "config",
         "strategy",
         "ΣII",
@@ -114,7 +125,8 @@ fn main() {
         "loops/s (wall)",
         "speedup",
         "cache h/m/r",
-        "salvage s/r"
+        "salvage s/r",
+        "p"
     );
     for (k, regs) in [(1u32, 64u32), (2, 32), (4, 16)] {
         let machine = MachineConfig::paper_config(k, regs).expect("paper config");
@@ -126,7 +138,8 @@ fn main() {
             let env_search = SearchConfig::from_env();
             let search = SearchConfig::for_strategy(strategy)
                 .with_branch_jobs(env_search.branch_jobs)
-                .with_salvage(env_search.salvage);
+                .with_salvage(env_search.salvage)
+                .with_prune(env_search.prune && !flag_set("no-prune"));
             // The metrics pass doubles as one of the timed passes when the
             // cache is off: its wall clock and aggregate scheduling seconds
             // fold into the trial below, so the SII/spill columns cost no
@@ -164,14 +177,15 @@ fn main() {
                 .iter()
                 .map(|o| u64::from(o.spill_ops()))
                 .sum();
-            let (salvaged, replaced) = summary
+            let (salvaged, replaced, pruned) = summary
                 .outcomes
                 .iter()
                 .filter_map(|o| o.result.as_ref())
-                .fold((0u64, 0u64), |(s, r), res| {
+                .fold((0u64, 0u64, 0u64), |(s, r, p), res| {
                     (
                         s + u64::from(res.search.salvaged_ops),
                         r + u64::from(res.search.replaced_ops),
+                        p + u64::from(res.search.pruned_iis),
                     )
                 });
             let fold_metrics_pass = !cache.is_enabled();
@@ -219,8 +233,13 @@ fn main() {
             } else {
                 "-".to_string()
             };
+            let prune_cell = if search.prune {
+                pruned.to_string()
+            } else {
+                "-".to_string()
+            };
             println!(
-                "{:<18} {:>9} {:>6} {:>9} {:>12.4} {:>12.4} {:>12.4} {:>14.1} {:>7.2}x {:>12} {:>12}",
+                "{:<18} {:>9} {:>6} {:>9} {:>12.4} {:>12.4} {:>12.4} {:>14.1} {:>7.2}x {:>12} {:>12} {:>6}",
                 trial.config,
                 strategy.label(),
                 summary.sum_ii(|_| true),
@@ -231,7 +250,8 @@ fn main() {
                 trial.loops as f64 / trial.best_wall_seconds(),
                 trial.speedup(),
                 cache_cell,
-                salvage_cell
+                salvage_cell,
+                prune_cell
             );
         }
     }

@@ -203,6 +203,60 @@ fn outcome_fingerprint(r: &ScheduleResult) -> (u64, u32, u32, u32, u32, mirs::Se
 proptest! {
     #![proptest_config(ProptestConfig { cases: 8, .. ProptestConfig::default() })]
 
+    /// The relaxation admission filter only skips candidate IIs it *proves*
+    /// infeasible, so `MIRS_PRUNE` on/off must produce byte-identical
+    /// schedules for every strategy, machine and salvage setting. The
+    /// attempt counters legitimately differ — a pruned II never runs, so
+    /// it is excluded from `attempts` — but for the linear climb they
+    /// reconcile exactly: `attempts(on) + pruned_iis(on) = attempts(off)`.
+    #[test]
+    fn prune_on_and_off_are_byte_identical(
+        seed in 0u64..400,
+        loops in 3usize..7,
+    ) {
+        let wb = Workbench::generate(&WorkbenchParams {
+            loops,
+            seed,
+            ..WorkbenchParams::default()
+        });
+        let mut scratch = SchedScratch::new();
+        for (k, regs) in [(1u32, 64u32), (4, 16)] {
+            let machine = MachineConfig::paper_config(k, regs).unwrap();
+            for base in [
+                SearchConfig::linear(),
+                SearchConfig::backtracking(),
+                SearchConfig::perturbed(),
+                SearchConfig::exact(),
+                SearchConfig::linear().with_salvage(true),
+                SearchConfig::backtracking().with_salvage(true),
+            ] {
+                for lp in wb.loops() {
+                    let on = schedule(&machine, lp, base.with_prune(true), &mut scratch);
+                    let off = schedule(&machine, lp, base.with_prune(false), &mut scratch);
+                    prop_assert_eq!(off.search.pruned_iis, 0, "filter off must prune nothing");
+                    prop_assert_eq!(
+                        (on.schedule_hash(), on.ii, on.mii, spill_ops(&on), on.stats.moves,
+                         on.search.candidates, on.search.salvaged_ops, on.search.replaced_ops,
+                         on.search.proof),
+                        (off.schedule_hash(), off.ii, off.mii, spill_ops(&off), off.stats.moves,
+                         off.search.candidates, off.search.salvaged_ops, off.search.replaced_ops,
+                         off.search.proof),
+                        "{}/{}/{} salvage={}: pruning changed the search outcome",
+                        machine.name(), lp.name, base.strategy, base.salvage
+                    );
+                    if base.strategy == SearchStrategyKind::Linear {
+                        prop_assert_eq!(
+                            on.search.attempts + on.search.pruned_iis,
+                            off.search.attempts,
+                            "{}/{}: linear attempts must reconcile with the pruned count",
+                            machine.name(), lp.name
+                        );
+                    }
+                }
+            }
+        }
+    }
+
     /// `MIRS_BRANCH_JOBS=1` and `=4` produce byte-identical schedules and
     /// identical `SearchMeta` on randomized workbenches, for every
     /// strategy. For `Backtracking` this crosses three implementations:
@@ -389,6 +443,70 @@ fn zero_exact_budget_degrades_the_proof_honestly() {
             other => panic!("{}: unexpected proof {other}", lp.name),
         }
     }
+}
+
+/// The admission filter earns its keep on the pinned register-tight hard
+/// cases: the linear climb there grinds through several relaxation-provably
+/// infeasible IIs, so the filter must (a) leave every schedule
+/// byte-identical, (b) prune at least one II on most cases, and (c) stay
+/// sound — the pruned set is the contiguous prefix `[mii, mii+pruned)` of
+/// the climb, and every member must sit strictly below the exact oracle's
+/// certified lower bound (all hard cases are within the ≤12-op certifiable
+/// slice).
+#[test]
+fn admission_filter_prunes_hard_cases_soundly() {
+    let mut scratch = SchedScratch::new();
+    let mut cases_with_pruning = 0usize;
+    let cases = loopgen::hard_cases();
+    for lp in &cases {
+        let machine = if lp.name.contains("clustered") {
+            MachineConfig::paper_config(2, 8).unwrap()
+        } else {
+            MachineConfig::paper_config(1, 8).unwrap()
+        };
+        let on = schedule(&machine, lp, SearchConfig::linear(), &mut scratch);
+        let off = schedule(
+            &machine,
+            lp,
+            SearchConfig::linear().with_prune(false),
+            &mut scratch,
+        );
+        assert_eq!(
+            on.schedule_hash(),
+            off.schedule_hash(),
+            "{}: pruning changed the schedule",
+            lp.name
+        );
+        assert_eq!(off.search.pruned_iis, 0);
+        assert_eq!(
+            on.search.attempts + on.search.pruned_iis,
+            off.search.attempts,
+            "{}: pruned IIs must account exactly for the skipped attempts",
+            lp.name
+        );
+        if on.search.pruned_iis > 0 {
+            cases_with_pruning += 1;
+        }
+        // Soundness: the pruned prefix is [mii, mii + pruned), so its
+        // largest member is mii + pruned - 1; the certified bound must sit
+        // at or above mii + pruned (every pruned II is proven infeasible,
+        // and the oracle proves at least as much as the relaxation).
+        let ex = schedule(&machine, lp, SearchConfig::exact(), &mut scratch);
+        let lb = ex.certified_lower_bound().expect("exact always certifies");
+        assert!(
+            on.mii + on.search.pruned_iis <= lb,
+            "{}: pruned II {} is not below the certified bound {}",
+            lp.name,
+            on.mii + on.search.pruned_iis - 1,
+            lb
+        );
+    }
+    assert!(
+        cases_with_pruning >= 3,
+        "the filter should fire on at least 3 of the {} hard cases (got {})",
+        cases.len(),
+        cases_with_pruning
+    );
 }
 
 /// The spill memo is an accelerator, never a behaviour change; its counters
